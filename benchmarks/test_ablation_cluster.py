@@ -1,0 +1,74 @@
+"""Ablation A5 — node-selection policies on a multi-node cluster.
+
+The paper's abstract scopes GYAN to "single or multiple GPU nodes based
+on the availability in the cluster"; its evaluation uses one node.  This
+ablation scales the availability rule up: a burst of overlapping GPU
+jobs lands on a 2-GPU-node + 1-CPU-node cluster under each policy, and
+the resulting node spread and per-node GPU process counts are compared.
+"""
+
+import pytest
+
+from repro.cluster.multinode import build_cluster
+
+BURST_SIZE = 6
+
+
+def run_policy(policy: str):
+    cluster = build_cluster(gpu_nodes=2, cpu_nodes=1, policy=policy)
+    for _ in range(BURST_SIZE):
+        cluster.launch_overlapped("racon")
+    loads = {l.hostname: l for l in cluster.loads()}
+    hosts = [record.hostname for record in cluster.history]
+    return {
+        "hosts": hosts,
+        "gpu_processes": {
+            name: load.gpu_processes
+            for name, load in loads.items()
+            if load.gpu_total
+        },
+        "distinct_gpu_nodes": len({h for h in hosts if h.startswith("gpu")}),
+    }
+
+
+def run_all():
+    return {
+        policy: run_policy(policy)
+        for policy in ("first-available-gpu", "round-robin", "least-loaded")
+    }
+
+
+def test_ablation_cluster(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report.add(f"{BURST_SIZE} overlapping GPU jobs on 2 GPU nodes + 1 CPU node")
+    report.table(
+        ["policy", "placements", "GPU procs/node"],
+        [
+            [policy, r["hosts"], r["gpu_processes"]]
+            for policy, r in results.items()
+        ],
+    )
+
+    # Every policy uses both GPU nodes for a burst this size.
+    for policy, r in results.items():
+        assert r["distinct_gpu_nodes"] == 2, policy
+        assert not any(h.startswith("cpu") for h in r["hosts"])
+
+    # The availability policy fills node 0's devices before spilling.
+    first = results["first-available-gpu"]["hosts"]
+    assert first[0] == first[1] == "gpu-node-0"
+    assert first[2] == "gpu-node-1"
+
+    # Round robin alternates regardless of occupancy.
+    rr = results["round-robin"]["hosts"]
+    assert rr[:4] == ["gpu-node-0", "gpu-node-1", "gpu-node-0", "gpu-node-1"]
+
+    # Least-loaded ends balanced (equal process counts across nodes).
+    ll = results["least-loaded"]["gpu_processes"]
+    counts = list(ll.values())
+    assert max(counts) - min(counts) <= 1
+
+    benchmark.extra_info["results"] = {
+        k: v["gpu_processes"] for k, v in results.items()
+    }
+    report.finish()

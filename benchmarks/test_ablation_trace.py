@@ -1,0 +1,93 @@
+"""Ablation A7 — scheduling policies under a stochastic arrival trace.
+
+The paper evaluates allocation on four hand-built cases; this ablation
+stresses the same machinery with a Poisson arrival trace of mixed tools
+and compares three designs on completion latency and device sharing:
+
+* **place/pid** — the paper's default: launch immediately, scatter when
+  everything is busy;
+* **place/memory** — the paper's refinement: launch immediately on the
+  least-loaded single device;
+* **wait/pid** — the alternative the paper implicitly rejects: queue
+  until a device is idle (no sharing, but queueing delay).
+
+Colocated jobs run with a time-sharing slowdown (k jobs on one device
+run ~k times longer), the first-order cost §IV-C2's "stalling due to
+context switching" describes.
+"""
+
+import pytest
+
+from repro.core import build_deployment
+from repro.tools.executors import register_paper_tools
+from repro.workloads.traces import TraceReplayer, generate_trace
+
+TRACE = dict(n_jobs=30, mean_interarrival_s=1.0, seed=13)
+
+
+def run_policy(strategy: str, gpu_policy: str):
+    deployment = build_deployment(allocation_strategy=strategy)
+    register_paper_tools(deployment.app)
+    replayer = TraceReplayer(
+        deployment, gpu_policy=gpu_policy, colocation_slowdown=True
+    )
+    result = replayer.replay(generate_trace(**TRACE))
+    return {
+        "completion": result.mean_completion_time(),
+        "wait": result.mean_wait_time(),
+        "scattered": result.scattered_jobs,
+        "peak_sharing": max(result.max_concurrent_per_gpu.values()),
+        "gpu_jobs": len(result.gpu_jobs),
+    }
+
+
+def run_all():
+    return {
+        "place/pid": run_policy("pid", "place"),
+        "place/memory": run_policy("memory", "place"),
+        "wait/pid": run_policy("pid", "wait"),
+    }
+
+
+def test_ablation_trace(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report.add(
+        f"Poisson trace: {TRACE['n_jobs']} jobs, "
+        f"1/{TRACE['mean_interarrival_s']} s arrival rate, "
+        "time-sharing slowdown enabled"
+    )
+    report.table(
+        ["policy", "mean completion (s)", "mean wait (s)", "scattered", "peak sharing"],
+        [
+            [
+                name,
+                f"{r['completion']:.2f}",
+                f"{r['wait']:.2f}",
+                r["scattered"],
+                r["peak_sharing"],
+            ]
+            for name, r in results.items()
+        ],
+    )
+
+    place_pid = results["place/pid"]
+    place_mem = results["place/memory"]
+    wait_pid = results["wait/pid"]
+
+    # Same workload everywhere.
+    assert place_pid["gpu_jobs"] == place_mem["gpu_jobs"] == wait_pid["gpu_jobs"]
+    # The paper's behaviours: immediate placement has zero wait; PID
+    # scatters under load, memory never does.
+    assert place_pid["wait"] == 0.0 and place_mem["wait"] == 0.0
+    assert place_pid["scattered"] > 0
+    assert place_mem["scattered"] == 0
+    # Queueing eliminates sharing entirely but pays waiting time.
+    assert wait_pid["peak_sharing"] == 1
+    assert wait_pid["wait"] > 0.0
+    # Under this load, memory-packed immediate placement beats both
+    # scatter (slowdown on every device) and waiting (queue delay) —
+    # the quantitative case for the paper's §IV-C2 refinement.
+    assert place_mem["completion"] <= place_pid["completion"]
+
+    benchmark.extra_info["results"] = results
+    report.finish()

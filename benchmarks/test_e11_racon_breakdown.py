@@ -1,0 +1,67 @@
+"""§VI-A text — the Racon end-to-end phase breakdown.
+
+Paper numbers for the 17 GB Alzheimers NFL dataset:
+
+* CPU end-to-end ~410 s, of which polishing is 117 s;
+* GPU end-to-end ~200 s, of which polishing is 15 s = 2 s GPU memory
+  allocation + 13 s GPU polishing + ~0.1 ms CPU tail;
+* ~40 s of CUDA API overhead (chunked transfers + synchronisation);
+* overall speedup ~2x.
+"""
+
+import pytest
+
+
+def run_breakdown(fresh_deployment, cpu_deployment_factory):
+    gpu_dep = fresh_deployment()
+    cpu_dep = cpu_deployment_factory()
+    gpu_job = gpu_dep.run_tool(
+        "racon", {"threads": 4, "workload": "dataset", "dataset": "Alzheimers_NFL"}
+    )
+    cpu_job = cpu_dep.run_tool(
+        "racon", {"threads": 4, "workload": "dataset", "dataset": "Alzheimers_NFL"}
+    )
+    return gpu_job, cpu_job
+
+
+def test_e11_racon_breakdown(benchmark, report, fresh_deployment, cpu_deployment_factory):
+    gpu_job, cpu_job = benchmark.pedantic(
+        run_breakdown,
+        args=(fresh_deployment, cpu_deployment_factory),
+        rounds=1,
+        iterations=1,
+    )
+    gpu = gpu_job.metrics.breakdown
+    cpu = cpu_job.metrics.breakdown
+    gpu_total = gpu_job.metrics.runtime_seconds
+    cpu_total = cpu_job.metrics.runtime_seconds
+
+    report.add("Racon on 17 GB Alzheimers NFL: measured vs paper")
+    report.table(
+        ["quantity", "measured", "paper"],
+        [
+            ["CPU end-to-end (s)", f"{cpu_total:.1f}", "~410"],
+            ["CPU polish (s)", f"{cpu['polish']:.1f}", "117"],
+            ["GPU end-to-end (s)", f"{gpu_total:.1f}", "~200"],
+            ["GPU alloc (s)", f"{gpu['gpu_alloc']:.2f}", "2"],
+            ["GPU kernels (s)", f"{gpu['gpu_kernels']:.2f}", "13"],
+            ["CPU tail (s)", f"{gpu['cpu_tail']:.4f}", "0.0001"],
+            ["CUDA API overhead (s)", f"{gpu['cuda_api_overhead']:.1f}", "~40"],
+            ["speedup", f"{cpu_total / gpu_total:.2f}x", "~2x"],
+        ],
+    )
+
+    assert cpu_total == pytest.approx(410.0, rel=0.02)
+    assert cpu["polish"] == pytest.approx(117.0, rel=0.02)
+    assert gpu_total == pytest.approx(200.0, rel=0.03)
+    assert gpu["gpu_alloc"] == pytest.approx(2.0, abs=0.1)
+    assert gpu["gpu_kernels"] == pytest.approx(13.0, rel=0.1)
+    assert gpu["cuda_api_overhead"] == pytest.approx(40.0, rel=0.1)
+    # polish phase: 117 s -> ~15 s
+    gpu_polish = gpu["gpu_alloc"] + gpu["gpu_kernels"] + gpu["cpu_tail"]
+    assert gpu_polish == pytest.approx(15.0, rel=0.1)
+    assert cpu_total / gpu_total == pytest.approx(2.05, abs=0.1)
+
+    benchmark.extra_info["gpu_breakdown"] = {k: round(v, 3) for k, v in gpu.items()}
+    benchmark.extra_info["speedup"] = cpu_total / gpu_total
+    report.finish()

@@ -1,0 +1,47 @@
+"""§VI-A text — NVProf stall analysis on Racon-GPU.
+
+Paper: "we did an NVProf stall analysis on Racon and found that there is
+~70% memory dependency stall and ~20% execution dependency stall, which
+are also reasons why we cannot get further performance improvements."
+"""
+
+import pytest
+
+from repro.gpusim.profiler import CudaProfiler
+
+
+def run_analysis(fresh_deployment):
+    deployment = fresh_deployment()
+    profiler = CudaProfiler()
+    deployment.app.profiler = profiler
+    deployment.run_tool(
+        "racon", {"threads": 4, "workload": "dataset", "dataset": "Alzheimers_NFL"}
+    )
+    return profiler.stall_analysis()
+
+
+def test_e12_stall_analysis(benchmark, report, fresh_deployment):
+    stalls = benchmark.pedantic(
+        run_analysis, args=(fresh_deployment,), rounds=1, iterations=1
+    )
+    report.add("Racon-GPU warp stall attribution")
+    report.table(
+        ["stall reason", "measured (%)", "paper (%)"],
+        [
+            ["memory dependency", f"{stalls.memory_dependency_pct:.1f}", "~70"],
+            ["execution dependency", f"{stalls.execution_dependency_pct:.1f}", "~20"],
+            ["other", f"{stalls.other_pct:.1f}", "~10"],
+        ],
+    )
+    assert stalls.memory_dependency_pct == pytest.approx(70.0, abs=5.0)
+    assert stalls.execution_dependency_pct == pytest.approx(20.0, abs=5.0)
+    assert (
+        stalls.memory_dependency_pct
+        + stalls.execution_dependency_pct
+        + stalls.other_pct
+    ) == pytest.approx(100.0, abs=0.1)
+    # Memory dependency dominating is the structural claim.
+    assert stalls.memory_dependency_pct > 3 * stalls.execution_dependency_pct * 0.8
+
+    benchmark.extra_info["stalls"] = stalls.as_dict()
+    report.finish()

@@ -1,0 +1,69 @@
+"""Figure 4 — NVProf hotspot functions for Racon-GPU.
+
+Paper: "the majority of the calls are kernel synchronization calls,
+memory transfer API calls ... and lastly, ClaraGenomics library kernel
+calls, which are generatePOAKernel and generateConsensusKernel."  The
+hotspot chart is regenerated from the profiler records the simulated
+paper-scale run produces (CUDA API records only — host pipeline phases
+are not part of an NVProf GPU trace).
+"""
+
+import pytest
+
+from repro.gpusim.profiler import CudaProfiler
+
+CUDA_CATEGORIES = {"kernel", "sync", "memcpy_htod", "memcpy_dtoh", "alloc", "launch"}
+
+
+def run_profiled(fresh_deployment):
+    deployment = fresh_deployment()
+    profiler = CudaProfiler()
+    deployment.app.profiler = profiler
+    deployment.run_tool(
+        "racon", {"threads": 4, "workload": "dataset", "dataset": "Alzheimers_NFL"}
+    )
+    cuda_only = CudaProfiler()
+    cuda_only.records = [r for r in profiler.records if r.category in CUDA_CATEGORIES]
+    return cuda_only
+
+
+def test_fig4_racon_hotspots(benchmark, report, fresh_deployment):
+    profiler = benchmark.pedantic(
+        run_profiled, args=(fresh_deployment,), rounds=1, iterations=1
+    )
+    hotspots = profiler.hotspots()
+    report.add("Racon-GPU CUDA API/kernel hotspots (17 GB Alzheimers NFL run)")
+    report.table(
+        ["Time(%)", "Time(s)", "Calls", "Name"],
+        [[f"{h.pct:.1f}", f"{h.total_time:.2f}", h.calls, h.name] for h in hotspots],
+    )
+    by_name = {h.name: h for h in hotspots}
+
+    # The paper's three call classes are all present.
+    for name in (
+        "cudaStreamSynchronize",
+        "cudaMemcpyHtoD",
+        "cudaMemcpyDtoH",
+        "generatePOAKernel",
+        "generateConsensusKernel",
+    ):
+        assert name in by_name, f"missing hotspot {name}"
+
+    # Shape: transfers dominate the CUDA time (the ~40 s of §VI-A vs
+    # 13 s of kernels); POA kernel >> consensus kernel; sync calls are
+    # the most numerous API call.
+    transfer_time = by_name["cudaMemcpyHtoD"].total_time + by_name["cudaMemcpyDtoH"].total_time
+    kernel_time = (
+        by_name["generatePOAKernel"].total_time
+        + by_name["generateConsensusKernel"].total_time
+    )
+    assert transfer_time > kernel_time
+    assert transfer_time == pytest.approx(40.0, rel=0.15)
+    assert kernel_time == pytest.approx(13.0, rel=0.15)
+    assert by_name["generatePOAKernel"].total_time > 10 * by_name[
+        "generateConsensusKernel"
+    ].total_time
+    assert by_name["cudaStreamSynchronize"].calls == max(h.calls for h in hotspots)
+
+    benchmark.extra_info["hotspots"] = {h.name: round(h.pct, 2) for h in hotspots}
+    report.finish()

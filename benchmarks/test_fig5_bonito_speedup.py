@@ -1,0 +1,63 @@
+"""Figure 5 — Bonito CPU vs GPU execution times for two datasets.
+
+Paper: CPU basecalling of Acinetobacter_pittii (1.5 GB) lasted more than
+210 hours; Klebsiella_pneumoniae_KSB2 (5.2 GB) is approximated as ~4x
+longer (>850 h); "the speedup for GPU vs. CPU execution time is more
+than 50x".  Each bar is measured by running the Bonito tool through the
+GYAN stack on GPU and CPU deployments.
+"""
+
+import pytest
+
+DATASETS = ("Acinetobacter_pittii", "Klebsiella_pneumoniae_KSB2")
+
+
+def run_comparison(fresh_deployment, cpu_deployment_factory):
+    gpu_dep = fresh_deployment()
+    cpu_dep = cpu_deployment_factory()
+    rows = []
+    for dataset in DATASETS:
+        cpu_job = cpu_dep.run_tool("bonito", {"workload": "dataset", "dataset": dataset})
+        gpu_job = gpu_dep.run_tool("bonito", {"workload": "dataset", "dataset": dataset})
+        rows.append(
+            {
+                "dataset": dataset,
+                "cpu_h": cpu_job.metrics.runtime_seconds / 3600.0,
+                "gpu_h": gpu_job.metrics.runtime_seconds / 3600.0,
+            }
+        )
+    return rows
+
+
+def test_fig5_bonito_speedup(benchmark, report, fresh_deployment, cpu_deployment_factory):
+    rows = benchmark.pedantic(
+        run_comparison,
+        args=(fresh_deployment, cpu_deployment_factory),
+        rounds=1,
+        iterations=1,
+    )
+    report.add("Bonito basecalling: CPU vs GPU execution time (hours)")
+    report.table(
+        ["dataset", "CPU (h)", "GPU (h)", "speedup"],
+        [
+            [r["dataset"], f"{r['cpu_h']:.1f}", f"{r['gpu_h']:.2f}",
+             f"{r['cpu_h'] / r['gpu_h']:.1f}x"]
+            for r in rows
+        ],
+    )
+    pittii, klebsiella = rows
+
+    # Anchors: >210 h CPU on the small set; >50x GPU speedup on both.
+    assert pittii["cpu_h"] > 210.0
+    assert klebsiella["cpu_h"] > 700.0
+    for r in rows:
+        assert r["cpu_h"] / r["gpu_h"] > 50.0
+
+    # Shape: the large set scales ~proportionally ("approximated 4x").
+    ratio = klebsiella["cpu_h"] / pittii["cpu_h"]
+    report.add()
+    report.add(f"KSB2/pittii CPU ratio: {ratio:.2f}  (paper approximates 4x; 5.2/1.5 = 3.5)")
+    assert 3.0 <= ratio <= 4.5
+
+    benchmark.extra_info["rows"] = rows
+    report.finish()

@@ -1,0 +1,85 @@
+"""Figure 7 — containerized Racon-GPU across thread counts and batches.
+
+Paper §VI-B: with the Racon-GPU Docker container, the best unbanded
+configuration was 2 CPU threads / 4 batches and the best banded one
+2 threads / 8 batches; "approximately 0.6 s (36 %) of the time was spent
+on container launching and cold start overhead".  Each cell is a real
+containerized job through the Docker runner with GYAN's --gpus wiring.
+"""
+
+import pytest
+
+THREADS = (1, 2, 4, 8)
+BATCHES = (1, 4, 8, 16)
+
+
+def run_sweep(fresh_deployment):
+    deployment = fresh_deployment()
+    deployment.route_tool_to("racon", "docker_dynamic")
+    deployment.registry.pull("gulsumgudukbay/racon_dockerfile:latest")  # warm cache
+    grid = {}
+    overheads = []
+    for banding in ("false", "true"):
+        for threads in THREADS:
+            for batches in BATCHES:
+                job = deployment.run_tool(
+                    "racon",
+                    {
+                        "threads": threads,
+                        "batches": batches,
+                        "banding": banding,
+                        "workload": "unit",
+                    },
+                )
+                grid[(banding, threads, batches)] = job.metrics.runtime_seconds
+                overheads.append(job.metrics.breakdown["container_launch"])
+    commands = [r.command_line for r in deployment.docker_runtime.run_log]
+    return grid, overheads, commands
+
+
+def test_fig7_container_racon(benchmark, report, fresh_deployment):
+    grid, overheads, commands = benchmark.pedantic(
+        run_sweep, args=(fresh_deployment,), rounds=1, iterations=1
+    )
+
+    for banding, label in (("false", "unbanded"), ("true", "banded")):
+        report.add(f"Containerized Racon-GPU unit time (s), {label}")
+        report.table(
+            ["threads \\ batches"] + [str(b) for b in BATCHES],
+            [
+                [t] + [f"{grid[(banding, t, b)]:.2f}" for b in BATCHES]
+                for t in THREADS
+            ],
+        )
+        report.add()
+
+    best_unbanded = min(
+        ((t, b) for t in THREADS for b in BATCHES),
+        key=lambda tb: grid[("false", *tb)],
+    )
+    best_banded = min(
+        ((t, b) for t in THREADS for b in BATCHES),
+        key=lambda tb: grid[("true", *tb)],
+    )
+    report.add(f"best unbanded: {best_unbanded} (paper: (2, 4))")
+    report.add(f"best banded:   {best_banded} (paper: (2, 8))")
+
+    assert best_unbanded == (2, 4)
+    assert best_banded == (2, 8)
+
+    # Container launch + cold-start overhead ~0.6 s, ~36 % of compute.
+    overhead = sum(overheads) / len(overheads)
+    best_time = grid[("true", *best_banded)]
+    fraction = overhead / (best_time - overhead)
+    report.add(f"container overhead: {overhead:.2f} s = {100 * fraction:.0f}% "
+               f"of in-container time (paper: ~0.6 s, 36%)")
+    assert overhead == pytest.approx(0.61, abs=0.03)
+    assert 0.30 <= fraction <= 0.42
+
+    # Every GPU job launched with --gpus all (Challenge III).
+    assert all("--gpus all" in c for c in commands)
+
+    benchmark.extra_info["best_unbanded"] = best_unbanded
+    benchmark.extra_info["best_banded"] = best_banded
+    benchmark.extra_info["overhead_s"] = overhead
+    report.finish()

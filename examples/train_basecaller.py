@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Bonito model-management workflow: download, convert, train, evaluate.
+
+Paper §V-A lists Bonito's functionalities beyond basecalling: "training
+a bonito model (bonito train), converting an hdf5 training file into a
+bonito format (bonito convert), evaluating a model performance (bonito
+evaluate), downloading pre-trained models and training datasets (bonito
+download)".  This example runs the whole loop on the simulator:
+
+1. ``download`` a pre-trained model — then deliberately drift its k-mer
+   levels (a mis-calibrated chemistry);
+2. simulate labelled squiggles and ``convert`` them to training chunks;
+3. ``evaluate`` the drifted model (poor), ``train`` on the chunks,
+   ``evaluate`` again (repaired).
+
+Run:  python examples/train_basecaller.py
+"""
+
+import numpy as np
+
+from repro.tools.bonito.commands import (
+    bonito_convert,
+    bonito_download,
+    bonito_evaluate,
+    bonito_train,
+)
+from repro.tools.bonito.signal import PoreModel, SquiggleSimulator
+from repro.workloads.generator import simulate_genome
+
+
+def main() -> None:
+    # 1. the "true" chemistry generates the data; our starting model has
+    #    drifted away from it.
+    truth_model = bonito_download("dna_r9.4.1")
+    drifted = PoreModel(k=3, seed=0)
+    rng = np.random.default_rng(5)
+    drifted.levels = (
+        truth_model.levels + rng.normal(0, 4.0, truth_model.n_kmers)
+    ).astype(np.float32)
+    print("downloaded model: dna_r9.4.1 "
+          f"({truth_model.n_kmers} k-mers, "
+          f"{truth_model.level_min_pa:.0f}-{truth_model.level_max_pa:.0f} pA)")
+
+    # 2. labelled training squiggles -> bonito chunks format.
+    simulator = SquiggleSimulator(
+        truth_model, samples_per_base=8, dwell_jitter=0, noise_sd_pa=0.6
+    )
+    genome = simulate_genome(3000, seed=17)
+    train_reads = simulator.simulate_reads(genome, n_reads=30, mean_length=400, seed=3)
+    chunks = bonito_convert(train_reads)
+    print(f"converted {len(chunks)} labelled reads "
+          f"(signal matrix {chunks.signals.shape})")
+
+    eval_reads = simulator.simulate_reads(genome, n_reads=10, mean_length=300, seed=9)
+
+    # 3. evaluate -> train -> evaluate.
+    before = bonito_evaluate(drifted, eval_reads)
+    print(f"\ndrifted model:  mean identity {before.mean_identity:.3f} "
+          f"(median {before.median_identity:.3f})")
+
+    trained, report = bonito_train(
+        drifted, chunks, epochs=3, reference_model=truth_model
+    )
+    print(f"training: {report.epochs} epochs, {report.kmers_observed}/64 k-mers "
+          f"observed, level RMSE {report.level_rmse_before:.2f} -> "
+          f"{report.level_rmse_after:.2f} pA")
+
+    after = bonito_evaluate(trained, eval_reads)
+    print(f"trained model:  mean identity {after.mean_identity:.3f} "
+          f"(median {after.median_identity:.3f})")
+    reference = bonito_evaluate(truth_model, eval_reads)
+    print(f"oracle model:   mean identity {reference.mean_identity:.3f}")
+    assert after.mean_identity > before.mean_identity
+
+
+if __name__ == "__main__":
+    main()

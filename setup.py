@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-use-pep517 --no-build-isolation``
+(or plain ``pip install -e .`` on a machine with ``wheel``) uses this
+shim's legacy ``setup.py develop`` path instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

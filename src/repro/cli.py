@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Show the default deployment: node, devices, installed tools.
+``smi``
+    Render the simulated ``nvidia-smi`` console table (optionally with a
+    demo workload running).
+``racon`` / ``bonito``
+    Run one tool through the GYAN dispatch path and print the job
+    record (command line, environment, destination, timing breakdown).
+``cases``
+    Re-play the paper's four multi-GPU scheduling cases.
+``experiment``
+    Regenerate one of the paper's headline results (fig3, fig5, e11,
+    stalls) as a quick table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import build_deployment, register_paper_tools
+
+
+def _fresh(allocation: str = "pid"):
+    deployment = build_deployment(allocation_strategy=allocation)
+    register_paper_tools(deployment.app)
+    return deployment
+
+
+# --------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------- #
+def cmd_info(args: argparse.Namespace) -> int:
+    deployment = _fresh()
+    print(f"node: {deployment.node.hostname} "
+          f"({deployment.node.resources.cpu_slots} CPU slots, "
+          f"{deployment.node.resources.gpu_count} GPUs)")
+    for device in deployment.gpu_host.devices:
+        print(f"  GPU {device.minor_number}: {device.arch.name}, "
+              f"{device.fb_total_mib} MiB, {device.arch.sm_count} SMs, "
+              f"{device.arch.cuda_cores} cores")
+    print(f"driver {deployment.gpu_host.driver_version}, "
+          f"CUDA {deployment.gpu_host.cuda_version}")
+    print("installed tools:")
+    for tool_id, tool in sorted(deployment.app.tools.items()):
+        tag = "gpu" if tool.requires_gpu else "cpu"
+        ids = ",".join(tool.requested_gpu_ids) or "-"
+        print(f"  {tool_id:<10} [{tag}] requested GPU ids: {ids}")
+    print("destinations:", ", ".join(sorted(deployment.job_config.destinations)))
+    return 0
+
+
+def cmd_smi(args: argparse.Namespace) -> int:
+    from repro.gpusim.smi import render_table
+
+    deployment = _fresh()
+    if args.demo:
+        job = deployment.app.submit("racon", {"workload": "unit"})
+        destination = deployment.app.map_destination(job)
+        deployment.app.runner_for(destination).launch(job, destination)
+    print(render_table(deployment.gpu_host), end="")
+    return 0
+
+
+def _print_job(job) -> None:
+    print(f"state:        {job.state.value}")
+    print(f"destination:  {job.metrics.destination_id}")
+    print(f"command:      {job.command_line}")
+    print(f"environment:  {job.environment}")
+    print(f"gpu ids:      {job.metrics.gpu_ids or '-'}")
+    runtime = job.metrics.runtime_seconds
+    if runtime is not None:
+        if runtime > 7200:
+            print(f"runtime:      {runtime / 3600:.2f} h (virtual)")
+        else:
+            print(f"runtime:      {runtime:.3f} s (virtual)")
+    if job.metrics.breakdown:
+        print("breakdown:")
+        for key, value in job.metrics.breakdown.items():
+            print(f"  {key:<22}{value:.4f} s")
+    if job.stdout:
+        print(f"stdout:       {job.stdout}")
+    if job.stderr:
+        print(f"stderr:       {job.stderr}")
+
+
+def cmd_racon(args: argparse.Namespace) -> int:
+    deployment = _fresh(args.allocation)
+    params = {
+        "threads": args.threads,
+        "batches": args.batches,
+        "banding": "true" if args.banded else "false",
+        "workload": args.workload,
+    }
+    if args.dataset:
+        params["dataset"] = args.dataset
+    if args.container:
+        deployment.route_tool_to("racon", "docker_dynamic")
+    job = deployment.run_tool("racon", params)
+    _print_job(job)
+    return 0 if job.exit_code == 0 else 1
+
+
+def cmd_bonito(args: argparse.Namespace) -> int:
+    deployment = _fresh(args.allocation)
+    params = {"workload": args.workload}
+    if args.dataset:
+        params["dataset"] = args.dataset
+    job = deployment.run_tool("bonito", params)
+    _print_job(job)
+    return 0 if job.exit_code == 0 else 1
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    from repro.gpusim.host import make_k80_host
+    from repro.gpusim.smi import render_topology
+
+    print(render_topology(make_k80_host(boards=args.boards)), end="")
+    return 0
+
+
+def cmd_cases(args: argparse.Namespace) -> int:
+    # The demonstration lives in the example; reuse it for one source of
+    # truth.
+    sys.path.insert(0, "examples")
+    from repro.gpusim.smi import render_table
+
+    def overlapped(deployment, tool_id):
+        job = deployment.app.submit(tool_id, {"workload": "unit"})
+        destination = deployment.app.map_destination(job)
+        runner = deployment.app.runner_for(destination)
+        return runner.launch(job, destination)
+
+    wanted = args.case
+    if wanted in (0, 1):
+        print("# Case 1: Racon->GPU0, Bonito->GPU1")
+        deployment = _fresh()
+        overlapped(deployment, "racon")
+        overlapped(deployment, "bonito")
+        print(render_table(deployment.gpu_host))
+    if wanted in (0, 2):
+        print("# Case 2: second Bonito diverted off busy GPU 1")
+        deployment = _fresh()
+        overlapped(deployment, "bonito")
+        overlapped(deployment, "bonito")
+        print(render_table(deployment.gpu_host))
+    if wanted in (0, 3):
+        print("# Case 3: four Racons, PID strategy")
+        deployment = _fresh()
+        for _ in range(4):
+            overlapped(deployment, "racon")
+        print(render_table(deployment.gpu_host))
+    if wanted in (0, 4):
+        print("# Case 4: memory strategy picks min-memory GPU")
+        deployment = _fresh("memory")
+        overlapped(deployment, "racon")
+        bonito1 = overlapped(deployment, "bonito")
+        deployment.gpu_host.device(1).alloc(
+            2674 * 1024**2, pid=bonito1.host_process.pid
+        )
+        overlapped(deployment, "bonito")
+        print(render_table(deployment.gpu_host))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.tools.bonito.perf_model import BonitoPerfModel
+    from repro.tools.racon.perf_model import RaconPerfModel
+    from repro.workloads.datasets import (
+        ACINETOBACTER_PITTII,
+        KLEBSIELLA_KSB2,
+    )
+
+    name = args.name
+    if name == "all":
+        from repro.reporting import render_report
+
+        print(render_report(), end="")
+        return 0
+    if name == "fig3":
+        model = RaconPerfModel()
+        print("threads   CPU(s)   GPU(s)  GPU banded(s)")
+        for threads in (1, 2, 4, 8):
+            gpu = min(model.gpu_unit_time(threads, b) for b in (1, 4, 8, 16))
+            banded = min(
+                model.gpu_unit_time(threads, b, banded=True) for b in (1, 4, 8, 16)
+            )
+            print(f"{threads:>7}  {model.cpu_unit_time(threads):>7.2f}  "
+                  f"{gpu:>7.2f}  {banded:>13.2f}")
+    elif name == "fig5":
+        model = BonitoPerfModel()
+        print(f"{'dataset':<28}{'CPU (h)':>10}{'GPU (h)':>10}{'speedup':>9}")
+        for dataset in (ACINETOBACTER_PITTII, KLEBSIELLA_KSB2):
+            cpu = model.cpu_time(dataset).total_hours
+            gpu = model.gpu_time(dataset).total_hours
+            print(f"{dataset.name:<28}{cpu:>10.1f}{gpu:>10.2f}{cpu / gpu:>8.1f}x")
+    elif name == "e11":
+        model = RaconPerfModel()
+        cpu = model.cpu_end_to_end()
+        gpu = model.gpu_end_to_end()
+        print(f"CPU end-to-end: {cpu.total_seconds:.1f} s "
+              f"(polish {cpu.breakdown['polish']:.1f} s)")
+        print(f"GPU end-to-end: {gpu.total_seconds:.1f} s")
+        for key, value in gpu.breakdown.items():
+            print(f"  {key:<20}{value:.4f} s")
+        print(f"speedup: {model.speedup():.2f}x")
+    elif name == "stalls":
+        deployment = _fresh()
+        from repro.gpusim.profiler import CudaProfiler
+
+        deployment.app.profiler = CudaProfiler()
+        deployment.run_tool("racon", {"workload": "dataset"})
+        stalls = deployment.app.profiler.stall_analysis()
+        for key, value in stalls.as_dict().items():
+            print(f"{key:<22}{value:.1f} %")
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.traces import TraceReplayer, generate_trace
+
+    deployment = _fresh(args.allocation)
+    trace = generate_trace(
+        n_jobs=args.jobs, mean_interarrival_s=args.interarrival, seed=args.seed
+    )
+    replayer = TraceReplayer(
+        deployment, gpu_policy=args.policy, colocation_slowdown=True
+    )
+    result = replayer.replay(trace)
+    print(f"trace: {len(trace)} jobs, mix {trace.tool_counts()}")
+    print(f"allocation={args.allocation} policy={args.policy}")
+    print(f"GPU jobs:             {len(result.gpu_jobs)}")
+    print(f"scattered jobs:       {result.scattered_jobs}")
+    print(f"peak sharing per GPU: {result.max_concurrent_per_gpu}")
+    print(f"mean completion time: {result.mean_completion_time():.2f} s")
+    print(f"mean wait time:       {result.mean_wait_time():.2f} s")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GYAN reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the default deployment").set_defaults(
+        func=cmd_info
+    )
+
+    smi = sub.add_parser("smi", help="render the simulated nvidia-smi table")
+    smi.add_argument("--demo", action="store_true",
+                     help="launch a demo GPU job before rendering")
+    smi.set_defaults(func=cmd_smi)
+
+    topo = sub.add_parser("topo", help="render the GPU topology matrix")
+    topo.add_argument("--boards", type=int, default=2)
+    topo.set_defaults(func=cmd_topo)
+
+    racon = sub.add_parser("racon", help="run the Racon tool through GYAN")
+    racon.add_argument("--threads", type=int, default=4)
+    racon.add_argument("--batches", type=int, default=1)
+    racon.add_argument("--banded", action="store_true")
+    racon.add_argument("--workload", choices=("unit", "dataset"), default="unit")
+    racon.add_argument("--dataset", default=None)
+    racon.add_argument("--container", action="store_true",
+                       help="run via the Docker destination")
+    racon.add_argument("--allocation", choices=("pid", "memory", "utilization"),
+                       default="pid")
+    racon.set_defaults(func=cmd_racon)
+
+    bonito = sub.add_parser("bonito", help="run the Bonito tool through GYAN")
+    bonito.add_argument("--workload", choices=("unit", "dataset"), default="dataset")
+    bonito.add_argument("--dataset", default="Acinetobacter_pittii")
+    bonito.add_argument("--allocation", choices=("pid", "memory", "utilization"),
+                        default="pid")
+    bonito.set_defaults(func=cmd_bonito)
+
+    cases = sub.add_parser("cases", help="replay the multi-GPU cases")
+    cases.add_argument("--case", type=int, choices=(0, 1, 2, 3, 4), default=0,
+                       help="which case (0 = all)")
+    cases.set_defaults(func=cmd_cases)
+
+    experiment = sub.add_parser("experiment", help="regenerate a headline result")
+    experiment.add_argument("name", choices=("all", "fig3", "fig5", "e11", "stalls"))
+    experiment.set_defaults(func=cmd_experiment)
+
+    trace = sub.add_parser(
+        "trace", help="replay a Poisson arrival trace and print scheduling stats"
+    )
+    trace.add_argument("--jobs", type=int, default=20)
+    trace.add_argument("--interarrival", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--allocation", choices=("pid", "memory", "utilization"),
+                       default="pid")
+    trace.add_argument("--policy", choices=("place", "wait"), default="place")
+    trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

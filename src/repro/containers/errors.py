@@ -1,0 +1,44 @@
+"""Container-runtime error types."""
+
+from __future__ import annotations
+
+
+class ContainerError(Exception):
+    """Base class for simulated container-runtime failures."""
+
+
+class ImageNotFoundError(ContainerError):
+    """The requested image exists in no configured registry."""
+
+    def __init__(self, reference: str) -> None:
+        self.reference = reference
+        super().__init__(f"pull access denied / not found: {reference}")
+
+
+class GpuRuntimeMissingError(ContainerError):
+    """``--gpus`` was requested but NVIDIA-Docker is not installed.
+
+    The paper notes the host "should have NVIDIA-Docker installed so that
+    the user driver components and the GPU devices ... are mounted to the
+    container at launch" — without it the daemon rejects the flag.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            'could not select device driver "" with capabilities: [[gpu]] '
+            "(nvidia-docker runtime not installed)"
+        )
+
+
+class InvalidBindOptionError(ContainerError):
+    """Singularity >= 3.1 rejected a bind mount option.
+
+    GYAN removes Galaxy's ``rw``/``ro`` bind flags because "Singularity's
+    new version (Version 3.1) does not support these flags when adding
+    the GPU flag" (paper §IV-B); launching without that fix reproduces
+    this error.
+    """
+
+    def __init__(self, option: str) -> None:
+        self.option = option
+        super().__init__(f"FATAL: while parsing bind path: invalid option {option!r}")

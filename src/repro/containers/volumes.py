@@ -1,0 +1,37 @@
+"""Volume/bind-mount descriptions shared by both container runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VolumeMount:
+    """A host-path bind mount.
+
+    Galaxy mounts the job working directory and the dataset files into
+    every tool container, historically with explicit ``rw``/``ro`` mode
+    suffixes.  GYAN strips those suffixes for Singularity >= 3.1 (paper
+    §IV-B); this class carries the mode so the runtimes can enforce or
+    strip it.
+    """
+
+    host_path: str
+    container_path: str
+    mode: str = "rw"  # 'rw' or 'ro'
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("rw", "ro"):
+            raise ValueError(f"mount mode must be 'rw' or 'ro', got {self.mode!r}")
+
+    def docker_spec(self) -> str:
+        """The ``-v`` argument form Docker expects."""
+        return f"{self.host_path}:{self.container_path}:{self.mode}"
+
+    def singularity_spec(self, include_mode: bool) -> str:
+        """The ``-B`` argument form; mode suffix only when requested.
+
+        ``include_mode=False`` is GYAN's fix for Singularity >= 3.1.
+        """
+        base = f"{self.host_path}:{self.container_path}"
+        return f"{base}:{self.mode}" if include_mode else base

@@ -1,0 +1,60 @@
+"""GYAN: GPU-aware computation mapping for the mini-Galaxy.
+
+This package is the paper's contribution, organised by its four
+challenges (§III-A / §IV):
+
+``requirements``  (Challenge I)
+    Interpreting the new ``<requirement type="compute">gpu</requirement>``
+    wrapper tag, whose ``version`` attribute carries requested GPU minor
+    IDs.
+``destination_rules``  (Challenge II)
+    The dynamic job rule that maps a job to the ``local_gpu`` destination
+    when the tool wants a GPU and ``pynvml`` reports one available, and
+    falls back to CPU destinations user-agnostically otherwise — setting
+    the ``GALAXY_GPU_ENABLED`` environment variable either way.
+``container_gpu``  (Challenge III)
+    The ``--gpus all`` / ``--nv`` flag providers for the container
+    runners, plus the Singularity bind-mode fix.
+``gpu_usage`` / ``allocation`` / ``mapper``  (Challenge IV)
+    ``get_gpu_usage`` (Pseudocode 1: parse ``nvidia-smi -q -x``), the two
+    device-allocation strategies (Process-ID and Process-Allocated-
+    Memory), and the ``__command_line`` logic (Pseudocode 2) that exports
+    ``CUDA_VISIBLE_DEVICES``.
+``monitor``
+    The per-second GPU hardware usage script of §V-C.
+``orchestrator``
+    A façade wiring a complete GYAN-enabled Galaxy deployment in one
+    call — the public entry point examples and benchmarks use.
+"""
+
+from repro.core.gpu_usage import get_gpu_usage, GpuUsageSnapshot
+from repro.core.allocation import (
+    AllocationStrategy,
+    PidAllocationStrategy,
+    MemoryAllocationStrategy,
+    AllocationDecision,
+)
+from repro.core.mapper import GpuComputationMapper
+from repro.core.destination_rules import gpu_destination_rule, register_gyan_rules
+from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
+from repro.core.monitor import GPUUsageMonitor, UsageSample, UsageStatistics
+from repro.core.orchestrator import GyanDeployment, build_deployment
+
+__all__ = [
+    "get_gpu_usage",
+    "GpuUsageSnapshot",
+    "AllocationStrategy",
+    "PidAllocationStrategy",
+    "MemoryAllocationStrategy",
+    "AllocationDecision",
+    "GpuComputationMapper",
+    "gpu_destination_rule",
+    "register_gyan_rules",
+    "docker_gpu_flag_provider",
+    "singularity_nv_provider",
+    "GPUUsageMonitor",
+    "UsageSample",
+    "UsageStatistics",
+    "GyanDeployment",
+    "build_deployment",
+]

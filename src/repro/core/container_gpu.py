@@ -1,0 +1,29 @@
+"""Container GPU flag providers (paper §IV-B, Challenge III).
+
+The original GYAN change is two one-liners guarded by the environment:
+
+* Docker:  ``if os.environ['GALAXY_GPU_ENABLED'] == "true":
+  command_part.append("--gpus all")``
+* Singularity:  ``command_part.append("--nv")`` under the same guard.
+
+Note the paper's §IV-C1 subtlety, preserved here: GYAN does **not** use
+``--gpus <ids>`` to select devices ("it did not work as intended");
+device selection always travels via ``CUDA_VISIBLE_DEVICES`` and the
+container gets ``--gpus all``.
+"""
+
+from __future__ import annotations
+
+from repro.galaxy.params import GPU_ENABLED_ENV_VAR
+
+
+def docker_gpu_flag_provider(environment: dict[str, str]) -> str | None:
+    """Value for Docker's ``--gpus`` flag, or ``None`` to omit it."""
+    if environment.get(GPU_ENABLED_ENV_VAR) == "true":
+        return "all"
+    return None
+
+
+def singularity_nv_provider(environment: dict[str, str]) -> bool:
+    """Whether to pass Singularity's ``--nv`` flag."""
+    return environment.get(GPU_ENABLED_ENV_VAR) == "true"

@@ -1,0 +1,89 @@
+"""Energy accounting over the monitor's telemetry (GYAN extension).
+
+Speedups also buy energy: a ~2x faster Racon on a 149 W K80 and a ~50x
+faster Bonito change the joules-per-sample economics dramatically.  The
+paper does not evaluate energy; this extension integrates the §V-C
+monitor's per-second samples into per-job, per-device energy figures
+using the device power model (idle ~26 W to the 149 W board limit,
+linear in SM utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.monitor import GPUUsageMonitor
+from repro.gpusim.device import GPUDevice
+
+
+def power_watts(device: GPUDevice, sm_utilization: float) -> float:
+    """The device power model at a given utilisation (see GPUDevice)."""
+    idle = 26.0
+    return idle + (device.arch.power_limit_watts - idle) * sm_utilization / 100.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-job energy summary."""
+
+    job_id: int
+    duration_seconds: float
+    per_device_joules: dict[int, float]
+
+    @property
+    def total_joules(self) -> float:
+        """Energy across all devices for the job's duration."""
+        return sum(self.per_device_joules.values())
+
+    @property
+    def mean_watts(self) -> float:
+        """Average draw across the sampled window."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.total_joules / self.duration_seconds
+
+
+class EnergyMeter:
+    """Integrates monitor samples into energy figures.
+
+    Trapezoidal integration over each device's utilisation samples
+    converted through the power model — the standard telemetry-based
+    estimate (what ``nvidia-smi --query-gpu=power.draw`` polling gives
+    on real hardware).
+    """
+
+    def __init__(self, monitor: GPUUsageMonitor) -> None:
+        self.monitor = monitor
+
+    def job_energy(self, job_id: int) -> EnergyReport:
+        """Energy of one monitored job."""
+        session = self.monitor.session_for(job_id)
+        per_device: dict[int, float] = {}
+        for device in self.monitor.host.devices:
+            samples = [
+                s for s in session.samples if s.device_index == device.minor_number
+            ]
+            joules = 0.0
+            for previous, current in zip(samples, samples[1:]):
+                dt = current.time - previous.time
+                p0 = power_watts(device, previous.gpu_utilization)
+                p1 = power_watts(device, current.gpu_utilization)
+                joules += 0.5 * (p0 + p1) * dt
+            per_device[device.minor_number] = joules
+        duration = (
+            session.samples[-1].time - session.samples[0].time
+            if len(session.samples) >= 2
+            else 0.0
+        )
+        return EnergyReport(
+            job_id=job_id,
+            duration_seconds=duration,
+            per_device_joules=per_device,
+        )
+
+    def compare(self, job_a: int, job_b: int) -> float:
+        """Energy ratio job_a / job_b (e.g. CPU-run vs GPU-run)."""
+        energy_b = self.job_energy(job_b).total_joules
+        if energy_b == 0:
+            raise ZeroDivisionError(f"job {job_b} drew no measurable energy")
+        return self.job_energy(job_a).total_joules / energy_b

@@ -1,0 +1,235 @@
+"""The GPU hardware usage script (paper §V-C).
+
+"This script obtains the GPU utilization, GPU memory utilization, and
+PCIe link generation information for every second, including minima,
+maxima, and average.  It is executed when a job is submitted and stopped
+when a job is either killed or stops.  Whenever it stops, a
+post-processing function is executed, and it generates .csv files and
+other log and statistic files."
+
+The reproduction samples on the *virtual* clock: the monitor schedules a
+self-rearming one-second callback, so any tool executor that advances the
+clock (kernel launches, transfers, CPU phases) is sampled mid-flight.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.galaxy.job import GalaxyJob
+from repro.gpusim.host import GPUHost
+
+
+@dataclass(frozen=True)
+class UsageSample:
+    """One per-second observation of one device."""
+
+    time: float
+    device_index: int
+    gpu_utilization: float
+    memory_utilization: float
+    fb_used_mib: int
+    pcie_generation: int
+
+
+@dataclass(frozen=True)
+class UsageStatistics:
+    """Post-processed min/max/avg for one device over one job."""
+
+    device_index: int
+    samples: int
+    gpu_util_min: float
+    gpu_util_max: float
+    gpu_util_avg: float
+    mem_util_min: float
+    mem_util_max: float
+    mem_util_avg: float
+    fb_used_min: int
+    fb_used_max: int
+    fb_used_avg: float
+
+
+@dataclass
+class MonitoredJob:
+    """Per-job sampling session."""
+
+    job_id: int
+    started_at: float
+    samples: list[UsageSample] = field(default_factory=list)
+    stopped: bool = False
+    statistics: list[UsageStatistics] = field(default_factory=list)
+
+
+class GPUUsageMonitor:
+    """Chronological per-second GPU telemetry, with CSV post-processing.
+
+    Implements the runner's :class:`~repro.galaxy.runners.base.UsageMonitor`
+    protocol.  Several jobs may be monitored concurrently (multi-GPU
+    cases); each keeps its own sample list.
+    """
+
+    def __init__(self, host: GPUHost, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.host = host
+        self.interval = interval
+        self.sessions: dict[int, MonitoredJob] = {}
+
+    # ------------------------------------------------------------------ #
+    # UsageMonitor protocol
+    # ------------------------------------------------------------------ #
+    def start(self, job: GalaxyJob) -> None:
+        """Begin sampling for ``job`` (called at tool-execution start)."""
+        session = MonitoredJob(job_id=job.job_id, started_at=self.host.clock.now)
+        self.sessions[job.job_id] = session
+        self._sample(session, self.host.clock.now)
+        self._arm(session)
+
+    def stop(self, job: GalaxyJob) -> None:
+        """Stop sampling and run the post-processing step."""
+        session = self.sessions.get(job.job_id)
+        if session is None or session.stopped:
+            return
+        # Take a final sample at the stop instant (unless a periodic tick
+        # already sampled this exact instant), then post-process.
+        now = self.host.clock.now
+        if not session.samples or session.samples[-1].time < now:
+            self._sample(session, now)
+        session.stopped = True
+        session.statistics = self._post_process(session)
+
+    # ------------------------------------------------------------------ #
+    # sampling machinery
+    # ------------------------------------------------------------------ #
+    def _arm(self, session: MonitoredJob) -> None:
+        def tick(now: float) -> None:
+            if session.stopped:
+                return
+            self._sample(session, now)
+            self._arm(session)
+
+        self.host.clock.call_later(self.interval, tick)
+
+    def _sample(self, session: MonitoredJob, now: float) -> None:
+        for device in self.host.devices:
+            session.samples.append(
+                UsageSample(
+                    time=now,
+                    device_index=device.minor_number,
+                    gpu_utilization=device.sm_utilization,
+                    memory_utilization=device.mem_utilization,
+                    fb_used_mib=device.fb_used_mib,
+                    pcie_generation=device.pcie_generation_current,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # post-processing
+    # ------------------------------------------------------------------ #
+    def _post_process(self, session: MonitoredJob) -> list[UsageStatistics]:
+        stats: list[UsageStatistics] = []
+        for device in self.host.devices:
+            device_samples = [
+                s for s in session.samples if s.device_index == device.minor_number
+            ]
+            if not device_samples:
+                continue
+            gpu_utils = [s.gpu_utilization for s in device_samples]
+            mem_utils = [s.memory_utilization for s in device_samples]
+            fb_useds = [s.fb_used_mib for s in device_samples]
+            stats.append(
+                UsageStatistics(
+                    device_index=device.minor_number,
+                    samples=len(device_samples),
+                    gpu_util_min=min(gpu_utils),
+                    gpu_util_max=max(gpu_utils),
+                    gpu_util_avg=sum(gpu_utils) / len(gpu_utils),
+                    mem_util_min=min(mem_utils),
+                    mem_util_max=max(mem_utils),
+                    mem_util_avg=sum(mem_utils) / len(mem_utils),
+                    fb_used_min=min(fb_useds),
+                    fb_used_max=max(fb_useds),
+                    fb_used_avg=sum(fb_useds) / len(fb_useds),
+                )
+            )
+        return stats
+
+    def session_for(self, job_id: int) -> MonitoredJob:
+        """The sampling session of a (possibly finished) job."""
+        return self.sessions[job_id]
+
+    def to_csv(self, job_id: int) -> str:
+        """The chronological .csv the paper's script writes per job."""
+        session = self.session_for(job_id)
+        buffer = io.StringIO()
+        buffer.write(
+            "time,device,gpu_utilization,memory_utilization,fb_used_mib,pcie_generation\n"
+        )
+        for sample in session.samples:
+            buffer.write(
+                f"{sample.time:.3f},{sample.device_index},"
+                f"{sample.gpu_utilization:.1f},{sample.memory_utilization:.1f},"
+                f"{sample.fb_used_mib},{sample.pcie_generation}\n"
+            )
+        return buffer.getvalue()
+
+    def dump(self, job_id: int, directory) -> list[str]:
+        """Write the per-job files the paper's script produces.
+
+        "Whenever it stops, a post-processing function is executed, and
+        it generates .csv files and other log and statistic files"
+        (§V-C).  Writes ``job_<id>.csv`` (chronological samples) and
+        ``job_<id>_stats.txt`` (the min/max/avg report); returns the
+        written paths.
+        """
+        import pathlib
+
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_path = directory / f"job_{job_id}.csv"
+        stats_path = directory / f"job_{job_id}_stats.txt"
+        csv_path.write_text(self.to_csv(job_id))
+        stats_path.write_text(self.statistics_report(job_id) + "\n")
+        return [str(csv_path), str(stats_path)]
+
+    @staticmethod
+    def _sparkline(values: list[float], width: int = 32) -> str:
+        """Downsample values to an ASCII sparkline (0-100 scale)."""
+        if not values:
+            return ""
+        blocks = " .:-=+*#%@"
+        if len(values) > width:
+            stride = len(values) / width
+            values = [
+                max(values[int(i * stride) : max(int((i + 1) * stride), int(i * stride) + 1)])
+                for i in range(width)
+            ]
+        return "".join(
+            blocks[min(len(blocks) - 1, int(v / 100.0 * (len(blocks) - 1)))]
+            for v in values
+        )
+
+    def statistics_report(self, job_id: int) -> str:
+        """The aggregated min/avg/max text report with utilisation traces."""
+        session = self.session_for(job_id)
+        lines = [
+            f"job {job_id}: {len(session.samples)} samples "
+            f"from t={session.started_at:.1f}s"
+        ]
+        for stat in session.statistics:
+            trace = self._sparkline(
+                [
+                    s.gpu_utilization
+                    for s in session.samples
+                    if s.device_index == stat.device_index
+                ]
+            )
+            lines.append(
+                f"  GPU {stat.device_index}: util "
+                f"min/avg/max = {stat.gpu_util_min:.0f}/{stat.gpu_util_avg:.0f}/"
+                f"{stat.gpu_util_max:.0f} %, fb "
+                f"min/avg/max = {stat.fb_used_min}/{stat.fb_used_avg:.0f}/"
+                f"{stat.fb_used_max} MiB  [{trace}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""One-call construction of a complete GYAN-enabled Galaxy deployment.
+
+Examples, tests and benchmarks all need the same wiring: a testbed node,
+a job configuration with GYAN's dynamic rules, the GPU computation
+mapper, container runtimes with the GPU flag providers, and the hardware
+usage monitor.  :func:`build_deployment` assembles it; the returned
+:class:`GyanDeployment` exposes every layer for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ComputeNode
+from repro.containers.docker import DockerRuntime
+from repro.containers.image import ImageRegistry
+from repro.containers.singularity import SingularityRuntime, SingularityVersion
+from repro.core.allocation import AllocationStrategy, strategy_by_name
+from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
+from repro.core.destination_rules import register_gyan_rules
+from repro.core.mapper import GpuComputationMapper
+from repro.core.monitor import GPUUsageMonitor
+from repro.galaxy.app import GalaxyApp
+from repro.galaxy.job import GalaxyJob
+from repro.galaxy.job_conf import JobConfig, parse_job_conf_xml
+from repro.galaxy.runners.docker import DockerJobRunner
+from repro.galaxy.runners.local import LocalRunner
+from repro.galaxy.runners.singularity import SingularityJobRunner
+from repro.gpusim.clock import VirtualClock
+
+#: The GYAN job configuration — paper Code 2, extended with the concrete
+#: destinations the rules resolve to and the container variants.
+GYAN_JOB_CONF_XML = """\
+<job_conf>
+    <plugins>
+        <plugin id="local" type="runner" load="galaxy.jobs.runners.local:LocalJobRunner"/>
+        <plugin id="docker" type="runner" load="galaxy.jobs.runners.docker:DockerJobRunner"/>
+        <plugin id="singularity" type="runner" load="galaxy.jobs.runners.singularity:SingularityJobRunner"/>
+    </plugins>
+    <destinations default="dynamic">
+        <destination id="dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">gpu_destination</param>
+        </destination>
+        <destination id="docker_dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">docker_destination</param>
+        </destination>
+        <destination id="local_gpu" runner="local"/>
+        <destination id="local_cpu" runner="local"/>
+        <destination id="docker_gpu" runner="docker">
+            <param id="docker_enabled">true</param>
+        </destination>
+        <destination id="docker_cpu" runner="docker">
+            <param id="docker_enabled">true</param>
+        </destination>
+        <destination id="singularity_gpu" runner="singularity">
+            <param id="singularity_enabled">true</param>
+        </destination>
+    </destinations>
+</job_conf>
+"""
+
+
+@dataclass
+class GyanDeployment:
+    """A fully wired GYAN-enabled Galaxy instance."""
+
+    node: ComputeNode
+    app: GalaxyApp
+    job_config: JobConfig
+    mapper: GpuComputationMapper
+    monitor: GPUUsageMonitor | None
+    registry: ImageRegistry
+    docker_runtime: DockerRuntime
+    singularity_runtime: SingularityRuntime
+    local_runner: LocalRunner
+    docker_runner: DockerJobRunner
+    singularity_runner: SingularityJobRunner
+
+    @property
+    def gpu_host(self):
+        """The node's GPU host (None on CPU-only deployments)."""
+        return self.node.gpu_host
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The deployment-wide virtual clock."""
+        return self.node.clock
+
+    # ------------------------------------------------------------------ #
+    # convenience entry points
+    # ------------------------------------------------------------------ #
+    def run_tool(self, tool_id: str, params: dict | None = None) -> GalaxyJob:
+        """Submit + run a tool through the full dynamic-mapping path."""
+        return self.app.submit_and_run(tool_id, params)
+
+    def route_tool_to(self, tool_id: str, destination_id: str) -> None:
+        """Pin a tool to a destination (Galaxy's ``<tools>`` section)."""
+        self.job_config.destination(destination_id)  # validate
+        self.job_config.tool_destinations[tool_id] = destination_id
+
+    def set_allocation_strategy(self, strategy: AllocationStrategy | str) -> None:
+        """Swap the device-allocation strategy (``"pid"`` / ``"memory"``)."""
+        if isinstance(strategy, str):
+            strategy = strategy_by_name(strategy)
+        self.mapper.strategy = strategy
+
+
+def build_deployment(
+    node: ComputeNode | None = None,
+    allocation_strategy: str = "pid",
+    with_monitor: bool = True,
+    nvidia_docker_installed: bool = True,
+    singularity_version: SingularityVersion = SingularityVersion(3, 1),
+    job_conf_xml: str = GYAN_JOB_CONF_XML,
+) -> GyanDeployment:
+    """Build the paper's deployment on the given (or default testbed) node.
+
+    Parameters
+    ----------
+    node:
+        Compute node; defaults to the paper testbed (48 CPUs, 2 K80 dies).
+    allocation_strategy:
+        ``"pid"`` (paper §IV-C1) or ``"memory"`` (§IV-C2).
+    with_monitor:
+        Attach the §V-C hardware usage monitor to every runner.
+    nvidia_docker_installed:
+        Model a host with/without the NVIDIA container runtime.
+    """
+    node = node or ComputeNode.paper_testbed()
+    job_config = parse_job_conf_xml(job_conf_xml)
+    register_gyan_rules(job_config.rules)
+
+    app = GalaxyApp(node=node, job_config=job_config)
+    mapper = GpuComputationMapper(
+        host=node.gpu_host, strategy=strategy_by_name(allocation_strategy)
+    )
+    monitor = (
+        GPUUsageMonitor(node.gpu_host)
+        if with_monitor and node.gpu_host is not None
+        else None
+    )
+
+    registry = ImageRegistry()
+    docker_runtime = DockerRuntime(
+        registry=registry,
+        clock=node.clock,
+        nvidia_docker_installed=nvidia_docker_installed,
+    )
+    singularity_runtime = SingularityRuntime(
+        registry=registry, clock=node.clock, version=singularity_version
+    )
+
+    local_runner = LocalRunner(app, gpu_mapper=mapper, usage_monitor=monitor)
+    docker_runner = DockerJobRunner(
+        app,
+        docker=docker_runtime,
+        gpu_mapper=mapper,
+        gpu_flag_provider=docker_gpu_flag_provider,
+        usage_monitor=monitor,
+    )
+    singularity_runner = SingularityJobRunner(
+        app,
+        singularity=singularity_runtime,
+        gpu_mapper=mapper,
+        nv_flag_provider=singularity_nv_provider,
+        usage_monitor=monitor,
+    )
+    app.register_runner("local", local_runner)
+    app.register_runner("docker", docker_runner)
+    app.register_runner("singularity", singularity_runner)
+
+    from repro.core.energy import EnergyMeter
+    from repro.galaxy.metrics_plugins import (
+        CoreMetricsPlugin,
+        GpuMetricsPlugin,
+        MetricsCollector,
+    )
+
+    app.metrics_collector = MetricsCollector(
+        [
+            CoreMetricsPlugin(),
+            GpuMetricsPlugin(
+                monitor, energy_meter=EnergyMeter(monitor) if monitor else None
+            ),
+        ]
+    )
+
+    return GyanDeployment(
+        node=node,
+        app=app,
+        job_config=job_config,
+        mapper=mapper,
+        monitor=monitor,
+        registry=registry,
+        docker_runtime=docker_runtime,
+        singularity_runtime=singularity_runtime,
+        local_runner=local_runner,
+        docker_runner=docker_runner,
+        singularity_runner=singularity_runner,
+    )

@@ -1,0 +1,160 @@
+"""A Galaxy-style in-process API facade.
+
+Real Galaxy exposes a REST API (``/api/tools``, ``/api/jobs``,
+``/api/histories``, ...) that drives most programmatic use.  This module
+provides the same resource model over the mini-Galaxy: JSON-serialisable
+dict payloads, stable field names borrowed from the real API, and the
+submit/poll pattern clients use — so downstream code written against
+"Galaxy the service" has a natural seam here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.galaxy.app import GalaxyApp
+from repro.galaxy.errors import GalaxyError, ToolNotFoundError
+from repro.galaxy.job import GalaxyJob, JobState
+
+
+class ApiError(GalaxyError):
+    """Raised with an HTTP-ish status code for API misuse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class GalaxyApi:
+    """The API facade over one :class:`GalaxyApp`."""
+
+    def __init__(self, app: GalaxyApp) -> None:
+        self.app = app
+
+    # ------------------------------------------------------------------ #
+    # /api/tools
+    # ------------------------------------------------------------------ #
+    def list_tools(self) -> list[dict[str, Any]]:
+        """GET /api/tools"""
+        return [
+            self._tool_payload(tool)
+            for _tool_id, tool in sorted(self.app.tools.items())
+        ]
+
+    def show_tool(self, tool_id: str) -> dict[str, Any]:
+        """GET /api/tools/{id}"""
+        try:
+            return self._tool_payload(self.app.tool(tool_id))
+        except ToolNotFoundError:
+            raise ApiError(404, f"tool {tool_id!r} not found") from None
+
+    @staticmethod
+    def _tool_payload(tool) -> dict[str, Any]:
+        return {
+            "id": tool.tool_id,
+            "name": tool.name,
+            "version": tool.version,
+            "requires_gpu": tool.requires_gpu,
+            "requested_gpu_ids": tool.requested_gpu_ids,
+            "inputs": [
+                {"name": p.name, "type": p.param_type, "default": p.default}
+                for p in tool.inputs
+            ],
+            "outputs": [{"name": o.name, "format": o.format} for o in tool.outputs],
+            "containers": [
+                {"type": c.container_type, "identifier": c.identifier}
+                for c in tool.containers
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # /api/tools (POST) + /api/jobs
+    # ------------------------------------------------------------------ #
+    def run_tool(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """POST /api/tools — submit and execute a tool.
+
+        Payload: ``{"tool_id": ..., "inputs": {...}}`` (the real API's
+        shape).  Returns the created job resource.
+        """
+        tool_id = payload.get("tool_id")
+        if not tool_id:
+            raise ApiError(400, "payload must include tool_id")
+        inputs = payload.get("inputs", {})
+        if not isinstance(inputs, Mapping):
+            raise ApiError(400, "inputs must be a mapping")
+        try:
+            job = self.app.submit_and_run(tool_id, dict(inputs))
+        except ToolNotFoundError:
+            raise ApiError(404, f"tool {tool_id!r} not found") from None
+        return self._job_payload(job)
+
+    def list_jobs(self, state: str | None = None) -> list[dict[str, Any]]:
+        """GET /api/jobs[?state=...]"""
+        if state is not None:
+            try:
+                wanted = JobState(state)
+            except ValueError:
+                raise ApiError(400, f"unknown state {state!r}") from None
+        jobs = sorted(self.app.jobs.values(), key=lambda j: j.job_id)
+        return [
+            self._job_payload(job)
+            for job in jobs
+            if state is None or job.state is wanted
+        ]
+
+    def show_job(self, job_id: int) -> dict[str, Any]:
+        """GET /api/jobs/{id}"""
+        job = self.app.jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"job {job_id} not found")
+        return self._job_payload(job, full=True)
+
+    @staticmethod
+    def _job_payload(job: GalaxyJob, full: bool = False) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "id": job.job_id,
+            "tool_id": job.tool.tool_id,
+            "state": job.state.value,
+            "exit_code": job.exit_code,
+            "destination": job.metrics.destination_id,
+            "gpu_ids": list(job.metrics.gpu_ids),
+            "runtime_seconds": job.metrics.runtime_seconds,
+        }
+        if full:
+            payload.update(
+                {
+                    "command_line": job.command_line,
+                    "environment": dict(job.environment),
+                    "stdout": job.stdout,
+                    "stderr": job.stderr,
+                    "metrics_breakdown": dict(job.metrics.breakdown),
+                    "state_history": [
+                        {"state": s.value, "time": t} for s, t in job.state_history
+                    ],
+                }
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # /api/histories
+    # ------------------------------------------------------------------ #
+    def list_histories(self) -> list[dict[str, Any]]:
+        """GET /api/histories"""
+        return [
+            {"id": index, "name": history.name, "size": len(history)}
+            for index, history in enumerate(self.app.histories)
+        ]
+
+    def history_contents(self, history_id: int = 0) -> list[dict[str, Any]]:
+        """GET /api/histories/{id}/contents"""
+        if not 0 <= history_id < len(self.app.histories):
+            raise ApiError(404, f"history {history_id} not found")
+        return [
+            {
+                "id": dataset.dataset_id,
+                "name": dataset.name,
+                "format": dataset.format,
+                "created_by_job": dataset.created_by_job,
+            }
+            for dataset in self.app.histories[history_id]
+        ]

@@ -1,0 +1,232 @@
+"""The Galaxy application façade: tools, executors, runners, dispatch.
+
+:class:`GalaxyApp` ties the substrates together the way the real
+framework's ``app`` object does: it owns the installed tools, the job
+configuration, the compute node, and the runner instances, and it drives
+the four-step flow of the paper's Fig. 2 — submit, map to a destination,
+run, collect results.
+
+Tool *executors* stand in for the actual binaries: a registered Python
+callable per executable name (``racon``, ``racon_gpu``, ``bonito``)
+receives the rendered argv and an execution context (node, GPU host,
+clock, environment, PID) and performs the tool's work against the
+simulated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.cluster.node import ComputeNode
+from repro.galaxy.errors import ExecutorNotFoundError, JobConfError, ToolNotFoundError
+from repro.galaxy.history import History
+from repro.galaxy.job import GalaxyJob, JobState
+from repro.galaxy.job_conf import Destination, JobConfig
+from repro.galaxy.tool_xml import ToolDefinition
+
+
+@dataclass
+class ToolExecutionContext:
+    """Everything a tool executor may touch while "running".
+
+    Attributes
+    ----------
+    node:
+        The compute node (CPU slots, clock).
+    job:
+        The Galaxy job being executed.
+    environment:
+        The process environment (includes ``CUDA_VISIBLE_DEVICES`` and
+        ``GALAXY_GPU_ENABLED`` when GYAN mapped the job to GPUs).
+    pid:
+        Host PID of the tool process (0 for CPU-only tools that never
+        attach to a GPU).
+    gpu_devices:
+        The devices visible to the process after ``CUDA_VISIBLE_DEVICES``
+        masking, in in-process ordinal order.
+    profiler:
+        Optional NVProf-like collector the executor should record into.
+    """
+
+    node: ComputeNode
+    job: GalaxyJob
+    environment: dict[str, str]
+    pid: int = 0
+    gpu_devices: list = field(default_factory=list)
+    profiler: Any = None
+
+    @property
+    def clock(self):
+        """The node's virtual clock."""
+        return self.node.clock
+
+    @property
+    def gpu_enabled(self) -> bool:
+        """True when GYAN enabled GPU execution for this job."""
+        return self.environment.get("GALAXY_GPU_ENABLED", "false") == "true"
+
+
+@dataclass
+class ToolExecutionResult:
+    """What a tool executor returns."""
+
+    stdout: str = ""
+    stderr: str = ""
+    exit_code: int = 0
+    result: Any = None
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+#: Executor signature: (argv, context) -> ToolExecutionResult.
+ToolExecutor = Callable[[list[str], ToolExecutionContext], ToolExecutionResult]
+
+
+class GalaxyApp:
+    """The mini-Galaxy application object.
+
+    Parameters
+    ----------
+    node:
+        Compute node jobs run on.
+    job_config:
+        Parsed job configuration (destinations + dynamic rules).
+    """
+
+    def __init__(self, node: ComputeNode, job_config: JobConfig) -> None:
+        self.node = node
+        self.job_config = job_config
+        self._toolbox = None
+        self.tools: dict[str, ToolDefinition] = {}
+        self.executors: dict[str, ToolExecutor] = {}
+        self.runners: dict[str, Any] = {}
+        self.histories: list[History] = [History("Default history")]
+        self.jobs: dict[int, GalaxyJob] = {}
+        #: App-level process environment — the paper's
+        #: ``GALAXY_GPU_ENABLED`` boolean lives here between the dynamic
+        #: rule setting it and the runner reading it.
+        self.environment: dict[str, str] = {}
+        self.profiler: Any = None
+        #: Optional :class:`~repro.galaxy.metrics_plugins.MetricsCollector`
+        #: run over every finished job.
+        self.metrics_collector: Any = None
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+    def install_tool(self, tool: ToolDefinition, section: str | None = None) -> None:
+        """Install a tool (what a Galaxy Admin does).
+
+        When a toolbox is attached (:meth:`use_toolbox`), the version is
+        added to its lineage as well; :attr:`tools` keeps pointing at the
+        lineage's latest version for the execution core.
+        """
+        if self._toolbox is not None:
+            from repro.galaxy.toolbox import ToolBox
+
+            self._toolbox.install(tool, section or ToolBox.DEFAULT_SECTION)
+            self.tools[tool.tool_id] = self._toolbox.get(tool.tool_id)
+        else:
+            self.tools[tool.tool_id] = tool
+
+    def use_toolbox(self, toolbox) -> None:
+        """Attach a versioned :class:`~repro.galaxy.toolbox.ToolBox`.
+
+        Already-installed tools are migrated into it.
+        """
+        self._toolbox = toolbox
+        for tool in list(self.tools.values()):
+            toolbox.install(tool)
+
+    @property
+    def toolbox(self):
+        """The attached toolbox, or None."""
+        return self._toolbox
+
+    def register_executor(self, executable: str, executor: ToolExecutor) -> None:
+        """Bind an executable name from command lines to a Python body."""
+        self.executors[executable] = executor
+
+    def register_runner(self, name: str, runner: Any) -> None:
+        """Install a job runner under its job_conf name."""
+        self.runners[name] = runner
+
+    def tool(self, tool_id: str) -> ToolDefinition:
+        """Installed tool by id."""
+        try:
+            return self.tools[tool_id]
+        except KeyError:
+            raise ToolNotFoundError(tool_id) from None
+
+    def executor_for(self, executable: str) -> ToolExecutor:
+        """Executor for an executable name (basename-insensitive)."""
+        if executable in self.executors:
+            return self.executors[executable]
+        basename = executable.rsplit("/", 1)[-1]
+        if basename in self.executors:
+            return self.executors[basename]
+        raise ExecutorNotFoundError(executable)
+
+    @property
+    def gpu_host(self):
+        """The node's GPU host (None on CPU-only nodes)."""
+        return self.node.gpu_host
+
+    # ------------------------------------------------------------------ #
+    # the four-step flow (paper Fig. 2)
+    # ------------------------------------------------------------------ #
+    def submit(self, tool_id: str, params: Mapping[str, Any] | None = None) -> GalaxyJob:
+        """Step 1: user triggers a job submission."""
+        job = GalaxyJob(tool=self.tool(tool_id), params=dict(params or {}))
+        job.metrics.submit_time = self.node.clock.now
+        self.jobs[job.job_id] = job
+        return job
+
+    def map_destination(self, job: GalaxyJob) -> Destination:
+        """Step 2: resolve the (possibly dynamic) destination."""
+        destination = self.job_config.resolve(job, self)
+        job.metrics.destination_id = destination.destination_id
+        return destination
+
+    def runner_for(self, destination: Destination):
+        """The runner instance a destination names."""
+        try:
+            return self.runners[destination.runner]
+        except KeyError:
+            raise JobConfError(
+                f"destination {destination.destination_id!r} names runner "
+                f"{destination.runner!r}, which is not registered"
+            ) from None
+
+    def run_job(self, job: GalaxyJob) -> GalaxyJob:
+        """Steps 2-4: map, execute, collect.  Synchronous.
+
+        When the resolved destination declares a ``resubmit_destination``
+        and the job ends in ERROR, a fresh job with the same tool and
+        parameters is resubmitted there (Galaxy's ``<resubmit>``
+        semantics — the original failed job remains in the job table,
+        linked via ``resubmitted_as``).  The returned job is the final
+        attempt.
+        """
+        destination = self.map_destination(job)
+        runner = self.runner_for(destination)
+        runner.queue_job(job, destination)
+        resubmit_id = destination.resubmit_destination
+        if job.state is JobState.ERROR and resubmit_id is not None:
+            retry = GalaxyJob(tool=job.tool, params=dict(job.params))
+            retry.metrics.submit_time = self.node.clock.now
+            self.jobs[retry.job_id] = retry
+            job.metrics.breakdown["resubmitted_as"] = retry.job_id
+            # The retry bypasses the dynamic rule: the admin pinned the
+            # recovery destination (typically one carrying a
+            # gpu_enabled_override so the CPU arm runs).
+            target = self.job_config.destination(resubmit_id)
+            self.runner_for(target).queue_job(retry, target)
+            return retry
+        return job
+
+    def submit_and_run(
+        self, tool_id: str, params: Mapping[str, Any] | None = None
+    ) -> GalaxyJob:
+        """Submit a tool and run it to completion."""
+        return self.run_job(self.submit(tool_id, params))

@@ -1,0 +1,39 @@
+"""Galaxy-layer error types."""
+
+from __future__ import annotations
+
+
+class GalaxyError(Exception):
+    """Base class for all mini-Galaxy errors."""
+
+
+class ToolParseError(GalaxyError):
+    """A tool wrapper or macros file is malformed."""
+
+
+class JobConfError(GalaxyError):
+    """The job configuration is malformed or references unknown entities."""
+
+
+class TemplateError(GalaxyError):
+    """A Cheetah-style command template failed to parse or evaluate."""
+
+
+class ToolNotFoundError(GalaxyError):
+    """A job referenced a tool id the app has not installed."""
+
+    def __init__(self, tool_id: str) -> None:
+        self.tool_id = tool_id
+        super().__init__(f"tool {tool_id!r} is not installed")
+
+
+class JobStateError(GalaxyError):
+    """An illegal job state transition was attempted."""
+
+
+class ExecutorNotFoundError(GalaxyError):
+    """A command referenced an executable with no registered executor."""
+
+    def __init__(self, executable: str) -> None:
+        self.executable = executable
+        super().__init__(f"no tool executor registered for {executable!r}")

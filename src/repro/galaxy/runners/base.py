@@ -1,0 +1,239 @@
+"""Shared runner machinery: environment prep, command assembly, lifecycle.
+
+The launch/finish split exists because the paper's multi-GPU experiments
+overlap tool executions: Case 2 submits a second Bonito *while the first
+still occupies GPU 1*, and the allocation logic must observe that
+occupancy.  ``launch`` runs everything up to and including process start
+(so the process is visible to ``nvidia-smi``); ``finish`` runs the tool
+body and tears down.  ``queue_job`` is the everyday launch-then-finish.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.galaxy.app import (
+    GalaxyApp,
+    ToolExecutionContext,
+    ToolExecutionResult,
+    ToolExecutor,
+)
+from repro.galaxy.errors import GalaxyError
+from repro.galaxy.job import GalaxyJob, JobState
+from repro.galaxy.job_conf import Destination
+from repro.galaxy.params import GPU_ENABLED_ENV_VAR, build_param_dict
+
+
+class GpuMapper(Protocol):
+    """GYAN's environment-preparation hook (paper Pseudocode 2)."""
+
+    def prepare_environment(self, job: GalaxyJob) -> dict[str, str]:
+        """Return env entries (``GALAXY_GPU_ENABLED``, ``CUDA_VISIBLE_DEVICES``)."""
+        ...
+
+
+class UsageMonitor(Protocol):
+    """The §V-C hardware usage script's start/stop interface."""
+
+    def start(self, job: GalaxyJob) -> None:
+        """Begin per-second sampling for ``job``."""
+        ...
+
+    def stop(self, job: GalaxyJob) -> None:
+        """Stop sampling and post-process statistics."""
+        ...
+
+
+@dataclass
+class LaunchedTool:
+    """A tool whose process has started but whose body has not run."""
+
+    job: GalaxyJob
+    argv: list[str]
+    executor: ToolExecutor
+    context: ToolExecutionContext
+    host_process: Any = None
+    cpu_token: int | None = None
+    extra_overhead: float = 0.0
+    finisher: Any = None  # runner-specific completion callable
+
+
+class BaseJobRunner:
+    """Common logic for all runners.
+
+    Parameters
+    ----------
+    app:
+        The Galaxy application.
+    gpu_mapper:
+        GYAN's mapper, or ``None`` for stock behaviour.
+    usage_monitor:
+        Optional §V-C monitor started/stopped around each tool.
+    """
+
+    runner_name = "base"
+
+    def __init__(
+        self,
+        app: GalaxyApp,
+        gpu_mapper: GpuMapper | None = None,
+        usage_monitor: UsageMonitor | None = None,
+    ) -> None:
+        self.app = app
+        self.gpu_mapper = gpu_mapper
+        self.usage_monitor = usage_monitor
+
+    # ------------------------------------------------------------------ #
+    # environment and command assembly
+    # ------------------------------------------------------------------ #
+    def build_environment(
+        self, job: GalaxyJob, destination: Destination | None = None
+    ) -> dict[str, str]:
+        """App environment plus GYAN's per-job GPU entries (if installed).
+
+        A destination may pin ``gpu_enabled_override`` (``"true"`` /
+        ``"false"``) — admins use this on recovery destinations so a job
+        resubmitted after a GPU failure runs its CPU arm regardless of
+        what the mapper would decide.
+        """
+        env = dict(self.app.environment)
+        if self.gpu_mapper is not None:
+            env.update(self.gpu_mapper.prepare_environment(job))
+        env.setdefault(GPU_ENABLED_ENV_VAR, "false")
+        if destination is not None:
+            override = destination.params.get("gpu_enabled_override")
+            if override is not None:
+                env[GPU_ENABLED_ENV_VAR] = override
+                if override == "false":
+                    env.pop("CUDA_VISIBLE_DEVICES", None)
+        return env
+
+    def build_command_line(self, job: GalaxyJob, env: dict[str, str]) -> list[str]:
+        """Render the tool's Cheetah command into argv."""
+        if job.tool.command_template is None:
+            raise GalaxyError(f"tool {job.tool.tool_id!r} has no command block")
+        param_dict = build_param_dict(job, environment=env)
+        command = job.tool.command_template.render_command(param_dict)
+        job.command_line = command
+        argv = shlex.split(command)
+        if not argv:
+            raise GalaxyError(f"tool {job.tool.tool_id!r} rendered an empty command")
+        return argv
+
+    def _gpu_process_name(self, argv: list[str]) -> str:
+        """Process name as ``nvidia-smi`` will display it."""
+        executable = argv[0].rsplit("/", 1)[-1]
+        return f"/usr/bin/{executable}"
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def launch(self, job: GalaxyJob, destination: Destination) -> LaunchedTool:
+        """QUEUED -> RUNNING: prepare env, assemble command, start process."""
+        now = self.app.node.clock.now
+        job.transition(JobState.QUEUED, now)
+        job.metrics.destination_id = destination.destination_id
+        env = self.build_environment(job, destination)
+        job.environment = env
+        argv = self.build_command_line(job, env)
+        executor = self.app.executor_for(argv[0])
+
+        host_process = None
+        gpu_devices: list = []
+        pid = 0
+        if (
+            env.get(GPU_ENABLED_ENV_VAR) == "true"
+            and self.app.gpu_host is not None
+        ):
+            mask = env.get("CUDA_VISIBLE_DEVICES")
+            host_process = self.app.gpu_host.launch_process(
+                name=self._gpu_process_name(argv), cuda_visible_devices=mask
+            )
+            pid = host_process.pid
+            gpu_devices = self.app.gpu_host.visible_devices(mask)
+            job.metrics.gpu_ids = [str(d.minor_number) for d in gpu_devices]
+
+        context = ToolExecutionContext(
+            node=self.app.node,
+            job=job,
+            environment=env,
+            pid=pid,
+            gpu_devices=gpu_devices,
+            profiler=self.app.profiler,
+        )
+        job.transition(JobState.RUNNING, self.app.node.clock.now)
+        job.metrics.start_time = self.app.node.clock.now
+        if self.usage_monitor is not None:
+            self.usage_monitor.start(job)
+        return LaunchedTool(
+            job=job,
+            argv=argv,
+            executor=executor,
+            context=context,
+            host_process=host_process,
+        )
+
+    def finish(self, launched: LaunchedTool) -> GalaxyJob:
+        """RUNNING -> OK/ERROR: run the tool body and tear down."""
+        job = launched.job
+        try:
+            if launched.finisher is not None:
+                result: ToolExecutionResult = launched.finisher()
+            else:
+                result = launched.executor(launched.argv, launched.context)
+        except Exception as exc:
+            self._teardown(launched)
+            job.fail(f"tool execution raised: {exc!r}", self.app.node.clock.now)
+            return job
+        self._teardown(launched)
+        now = self.app.node.clock.now
+        job.stdout = result.stdout
+        job.stderr = result.stderr
+        job.exit_code = result.exit_code
+        job.result = result.result
+        job.metrics.breakdown.update(result.breakdown)
+        if launched.extra_overhead:
+            job.metrics.breakdown.setdefault("container_overhead", 0.0)
+            job.metrics.breakdown["container_overhead"] += launched.extra_overhead
+        job.metrics.end_time = now
+        if result.exit_code == 0:
+            job.transition(JobState.OK, now)
+            self._collect_outputs(job)
+        else:
+            job.transition(JobState.ERROR, now)
+        collector = getattr(self.app, "metrics_collector", None)
+        if collector is not None:
+            collector.collect(job)
+        return job
+
+    def _collect_outputs(self, job: GalaxyJob) -> None:
+        """Step 4 of the paper's Fig. 2: results land in the history."""
+        from repro.galaxy.history import Dataset
+
+        if not self.app.histories:
+            return
+        history = self.app.histories[0]
+        for output in job.tool.outputs:
+            history.add(
+                Dataset(
+                    name=f"{job.tool.tool_id}/{output.name}",
+                    format=output.format,
+                    payload=job.result,
+                    created_by_job=job.job_id,
+                )
+            )
+
+    def _teardown(self, launched: LaunchedTool) -> None:
+        if self.usage_monitor is not None:
+            self.usage_monitor.stop(launched.job)
+        if launched.host_process is not None and launched.host_process.alive:
+            self.app.gpu_host.terminate_process(launched.host_process.pid)
+        if launched.cpu_token is not None:
+            self.app.node.release_cpus(launched.cpu_token)
+            launched.cpu_token = None
+
+    def queue_job(self, job: GalaxyJob, destination: Destination) -> GalaxyJob:
+        """The synchronous everyday path: launch then finish."""
+        return self.finish(self.launch(job, destination))

@@ -1,0 +1,50 @@
+"""The local (bare-metal) runner — the paper's modified ``local.py``.
+
+This is where GYAN's Pseudocode 2 lives in the real tree: the
+``__command_line`` function inspects the tool's compute requirement,
+queries GPU usage, selects devices, and exports
+``CUDA_VISIBLE_DEVICES`` before spawning the tool as a subprocess.  In
+this reproduction the selection logic is the injected ``gpu_mapper``
+(see :mod:`repro.core.mapper`); the runner contributes CPU-slot
+reservation on top of the base lifecycle.
+"""
+
+from __future__ import annotations
+
+from repro.galaxy.job import GalaxyJob
+from repro.galaxy.job_conf import Destination
+from repro.galaxy.runners.base import BaseJobRunner, LaunchedTool
+
+
+class LocalRunner(BaseJobRunner):
+    """Runs tools as local processes on the app's node.
+
+    The tool's ``threads`` parameter (when declared) reserves that many
+    CPU slots for the duration of the run, mirroring Galaxy's
+    ``local_slots`` accounting.
+    """
+
+    runner_name = "local"
+
+    def _requested_threads(self, job: GalaxyJob) -> int:
+        value = job.params.get("threads", 1)
+        try:
+            threads = int(value)
+        except (TypeError, ValueError):
+            threads = 1
+        return max(1, threads)
+
+    def launch(self, job: GalaxyJob, destination: Destination) -> LaunchedTool:
+        """Base launch plus CPU-slot reservation."""
+        launched = super().launch(job, destination)
+        try:
+            launched.cpu_token = self.app.node.reserve_cpus(
+                self._requested_threads(job)
+            )
+        except ValueError:
+            # Node full: the real local runner would keep the job queued;
+            # the simulator surfaces it as a failed launch.
+            self._teardown(launched)
+            job.fail("node has no free CPU slots", self.app.node.clock.now)
+            raise
+        return launched

@@ -1,0 +1,78 @@
+"""Simulated NVIDIA GPU substrate.
+
+The GYAN paper integrates GPU awareness into Galaxy by *observing* GPU
+state through ``pynvml`` and ``nvidia-smi -q -x`` and by *steering*
+processes with ``CUDA_VISIBLE_DEVICES`` and container launch flags.  This
+package provides a software model of that observable surface:
+
+``clock``
+    A virtual monotone clock so that multi-hour workloads (the paper's
+    Bonito CPU runs exceed 210 hours) can be simulated in milliseconds of
+    wall time.
+``device`` / ``memory`` / ``process``
+    The device model — a Tesla K80 board is two GK210 dies, each with its
+    own framebuffer, SMs, and process table.
+``host``
+    A machine with *N* visible GPU devices and a host process table; it is
+    the object that ``nvml`` and ``smi`` render.
+``nvml``
+    A ``pynvml``-compatible call surface backed by a :class:`~repro.gpusim.host.GPUHost`.
+``smi``
+    An ``nvidia-smi`` emulator producing the real ``-q -x`` XML schema and
+    the familiar console table (paper Figs. 10 and 11).
+``kernels``
+    A mechanistic timing model for device kernels and PCIe transfers.
+``profiler``
+    An NVProf-like API-call accounting and stall-attribution model used to
+    regenerate the hotspot figures (paper Figs. 4 and 6).
+"""
+
+from repro.gpusim.clock import VirtualClock, Timeline, TimelineEvent
+from repro.gpusim.errors import (
+    GpuSimError,
+    DeviceOutOfMemoryError,
+    InvalidDeviceError,
+    DoubleFreeError,
+    NVMLError,
+)
+from repro.gpusim.memory import MemoryAllocator, Allocation
+from repro.gpusim.process import GPUProcess, PidAllocator, ProcessType
+from repro.gpusim.device import GPUArchitecture, GPUDevice, TESLA_GK210, TESLA_K80_BOARD
+from repro.gpusim.host import GPUHost, make_k80_host, parse_cuda_visible_devices
+from repro.gpusim.kernels import KernelLaunch, MemcpyKind, KernelTimingModel
+from repro.gpusim.profiler import CudaProfiler, ApiCallRecord, StallAnalysis
+from repro.gpusim.streams import CudaStream, StreamEngine
+from repro.gpusim.events import CudaEvent, EventApi
+
+__all__ = [
+    "VirtualClock",
+    "Timeline",
+    "TimelineEvent",
+    "GpuSimError",
+    "DeviceOutOfMemoryError",
+    "InvalidDeviceError",
+    "DoubleFreeError",
+    "NVMLError",
+    "MemoryAllocator",
+    "Allocation",
+    "GPUProcess",
+    "PidAllocator",
+    "ProcessType",
+    "GPUArchitecture",
+    "GPUDevice",
+    "TESLA_GK210",
+    "TESLA_K80_BOARD",
+    "GPUHost",
+    "make_k80_host",
+    "parse_cuda_visible_devices",
+    "KernelLaunch",
+    "MemcpyKind",
+    "KernelTimingModel",
+    "CudaProfiler",
+    "ApiCallRecord",
+    "StallAnalysis",
+    "CudaStream",
+    "StreamEngine",
+    "CudaEvent",
+    "EventApi",
+]

@@ -1,0 +1,144 @@
+"""Virtual time for the simulator.
+
+The paper's evaluation spans six orders of magnitude of wall time — from
+~1.7 s best-case Racon window units to >210 h Bonito CPU basecalling runs.
+Re-running those on real hardware is neither possible here nor necessary:
+GYAN's *decisions* depend on device state at submit time, and the
+*measurements* depend on a timing model.  A virtual clock lets both be
+exercised deterministically and instantly.
+
+All durations are in seconds (float).  The clock only moves forward.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.gpusim.errors import ClockError
+
+
+@dataclass(frozen=True, order=True)
+class TimelineEvent:
+    """A timestamped annotation on the simulation timeline.
+
+    Events are ordered by time; ``seq`` breaks ties in insertion order so
+    that sorting is stable and deterministic.
+    """
+
+    time: float
+    seq: int
+    label: str = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class Timeline:
+    """An append-only, time-ordered event log.
+
+    Used by the GPU usage monitor and the job lifecycle to record what
+    happened when, in virtual time.  Iteration yields events in
+    chronological order even if they were appended out of order (which can
+    happen when several simulated processes interleave).
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TimelineEvent] = []
+        self._counter = itertools.count()
+        self._sorted = True
+
+    def record(self, time: float, label: str, payload: Any = None) -> TimelineEvent:
+        """Append an event at ``time`` and return it."""
+        event = TimelineEvent(time=time, seq=next(self._counter), label=label, payload=payload)
+        if self._events and event < self._events[-1]:
+            self._sorted = False
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        if not self._sorted:
+            self._events.sort()
+            self._sorted = True
+        return iter(list(self._events))
+
+    def between(self, start: float, end: float) -> list[TimelineEvent]:
+        """Events with ``start <= time < end``, chronologically."""
+        return [e for e in self if start <= e.time < end]
+
+    def labelled(self, label: str) -> list[TimelineEvent]:
+        """All events carrying exactly ``label``."""
+        return [e for e in self if e.label == label]
+
+
+class VirtualClock:
+    """A monotone simulated clock with optional scheduled callbacks.
+
+    The clock starts at ``epoch`` (default 0.0).  :meth:`advance` moves
+    time forward by a delta and :meth:`advance_to` moves to an absolute
+    instant; both fire any callbacks scheduled in the traversed interval,
+    in timestamp order.  Moving backwards raises :class:`ClockError`.
+
+    Scheduled callbacks are how the per-second GPU hardware usage monitor
+    (paper §V-C) samples device state *during* a simulated tool execution:
+    the kernel timing model advances the clock, and the monitor's sampling
+    callback fires once per simulated second.
+    """
+
+    def __init__(self, epoch: float = 0.0) -> None:
+        self._now = float(epoch)
+        self._pending: list[tuple[float, int, Callable[[float], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance by negative delta {delta}")
+        return self.advance_to(self._now + delta)
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to the absolute instant ``when``.
+
+        Callbacks scheduled at or before ``when`` fire in order, and each
+        callback observes the clock already advanced to its own scheduled
+        instant (so a sampling callback reading ``clock.now`` sees its
+        sample timestamp, not the final destination time).
+        """
+        if when < self._now:
+            raise ClockError(f"cannot move clock backwards: {when} < {self._now}")
+        while self._pending and self._pending[0][0] <= when:
+            at, _seq, callback = heapq.heappop(self._pending)
+            # A callback scheduled in the past fires "now" rather than
+            # rewinding the clock.
+            self._now = max(self._now, at)
+            callback(self._now)
+        self._now = when
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[float], None]) -> None:
+        """Schedule ``callback(now)`` to fire when time reaches ``when``."""
+        heapq.heappush(self._pending, (float(when), next(self._counter), callback))
+
+    def call_later(self, delay: float, callback: Callable[[float], None]) -> None:
+        """Schedule ``callback(now)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule in the past (delay={delay})")
+        self.call_at(self._now + delay, callback)
+
+    def pending_count(self) -> int:
+        """Number of callbacks not yet fired."""
+        return len(self._pending)
+
+    def cancel_all(self) -> int:
+        """Drop all pending callbacks; returns how many were dropped."""
+        n = len(self._pending)
+        self._pending.clear()
+        return n

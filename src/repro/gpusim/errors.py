@@ -1,0 +1,69 @@
+"""Exception hierarchy for the GPU simulator.
+
+Every failure mode the real stack exposes to GYAN has a counterpart here,
+so the orchestration code can be exercised against realistic errors
+(device OOM, invalid ``CUDA_VISIBLE_DEVICES`` entries, NVML use before
+initialisation, and allocator misuse).
+"""
+
+from __future__ import annotations
+
+
+class GpuSimError(Exception):
+    """Base class for all GPU-simulator errors."""
+
+
+class DeviceOutOfMemoryError(GpuSimError):
+    """Raised when a device allocation exceeds the remaining framebuffer.
+
+    Mirrors CUDA's ``cudaErrorMemoryAllocation`` — the error a real tool
+    would hit when a job is packed onto a GPU whose memory is exhausted,
+    which is precisely the scenario the paper's *Process Allocated Memory*
+    strategy is designed to avoid.
+    """
+
+    def __init__(self, requested: int, free: int, device_index: int) -> None:
+        self.requested = requested
+        self.free = free
+        self.device_index = device_index
+        super().__init__(
+            f"out of memory on GPU {device_index}: "
+            f"requested {requested} B, {free} B free"
+        )
+
+
+class InvalidDeviceError(GpuSimError):
+    """Raised for a device index outside the host's (masked) device set."""
+
+    def __init__(self, index: object, available: object) -> None:
+        self.index = index
+        self.available = available
+        super().__init__(f"invalid device {index!r}; available: {available!r}")
+
+
+class DoubleFreeError(GpuSimError):
+    """Raised when an :class:`~repro.gpusim.memory.Allocation` is freed twice."""
+
+
+class NVMLError(GpuSimError):
+    """Raised by the :mod:`repro.gpusim.nvml` shim.
+
+    ``pynvml`` raises ``NVMLError`` subclasses with numeric return codes;
+    we keep the codes that matter for GYAN's control flow.
+    """
+
+    NVML_ERROR_UNINITIALIZED = 1
+    NVML_ERROR_INVALID_ARGUMENT = 2
+    NVML_ERROR_NOT_FOUND = 6
+
+    def __init__(self, code: int, message: str) -> None:
+        self.code = code
+        super().__init__(f"NVML error {code}: {message}")
+
+
+class ProcessError(GpuSimError):
+    """Raised for host process-table misuse (unknown PID, double kill)."""
+
+
+class ClockError(GpuSimError):
+    """Raised when the virtual clock would move backwards."""

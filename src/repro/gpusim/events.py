@@ -1,0 +1,79 @@
+"""CUDA events: device-side timestamps on streams.
+
+``cudaEventRecord`` / ``cudaEventElapsedTime`` are how real tools (and
+NVProf itself) measure device-side phases without host synchronisation.
+The simulator's events mirror that: an event recorded on a stream
+captures the stream's completion frontier at record time; elapsed time
+between two events is device time, independent of when the host looks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.gpusim.errors import GpuSimError
+from repro.gpusim.streams import CudaStream, StreamEngine
+
+
+class EventError(GpuSimError):
+    """Raised for event misuse (elapsed time on unrecorded events)."""
+
+
+@dataclass
+class CudaEvent:
+    """A device timestamp marker."""
+
+    event_id: int = field(default_factory=itertools.count(1).__next__)
+    #: Device-time instant the event completes at; None until recorded.
+    timestamp: float | None = None
+    stream_id: int | None = None
+
+    @property
+    def recorded(self) -> bool:
+        """True once the event has been recorded on a stream."""
+        return self.timestamp is not None
+
+
+class EventApi:
+    """Event operations bound to one :class:`StreamEngine`."""
+
+    def __init__(self, engine: StreamEngine) -> None:
+        self.engine = engine
+
+    def record(self, event: CudaEvent, stream: CudaStream) -> CudaEvent:
+        """``cudaEventRecord``: the event completes when the stream's
+        already-issued work completes."""
+        event.timestamp = max(stream.tail, self.engine.timing.host.clock.now)
+        event.stream_id = stream.stream_id
+        return event
+
+    def elapsed_time_ms(self, start: CudaEvent, end: CudaEvent) -> float:
+        """``cudaEventElapsedTime``: milliseconds between two events.
+
+        Raises
+        ------
+        EventError
+            If either event was never recorded, or end precedes start.
+        """
+        if not start.recorded or not end.recorded:
+            raise EventError("both events must be recorded first")
+        delta = end.timestamp - start.timestamp
+        if delta < 0:
+            raise EventError("end event precedes start event")
+        return delta * 1000.0
+
+    def query(self, event: CudaEvent) -> bool:
+        """``cudaEventQuery``: has the event completed by host-now?"""
+        if not event.recorded:
+            return False
+        return event.timestamp <= self.engine.timing.host.clock.now
+
+    def synchronize(self, event: CudaEvent) -> float:
+        """``cudaEventSynchronize``: block the host until the event."""
+        if not event.recorded:
+            raise EventError("cannot synchronise on an unrecorded event")
+        clock = self.engine.timing.host.clock
+        if event.timestamp > clock.now:
+            clock.advance_to(event.timestamp)
+        return clock.now

@@ -1,0 +1,222 @@
+"""A ``pynvml``-compatible call surface backed by the simulator.
+
+GYAN's dynamic destination rule (paper §IV-A) discovers GPU availability
+with the ``pynvml`` library.  Offline we cannot import the real binding,
+so this module reproduces the subset of its API the rule needs, with the
+same names, call shapes and error discipline (use before ``nvmlInit``
+raises :class:`NVMLError` with ``NVML_ERROR_UNINITIALIZED``).
+
+Both a module-level interface (like the real ``pynvml``) and an
+instance-based :class:`NvmlLibrary` (for tests that want several
+independent hosts) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.errors import NVMLError
+from repro.gpusim.host import GPUHost
+
+
+@dataclass(frozen=True)
+class NvmlMemoryInfo:
+    """Mirror of ``nvmlMemory_t``: byte counts for one device."""
+
+    total: int
+    free: int
+    used: int
+
+
+@dataclass(frozen=True)
+class NvmlUtilization:
+    """Mirror of ``nvmlUtilization_t``: percentages over the last interval."""
+
+    gpu: int
+    memory: int
+
+
+@dataclass(frozen=True)
+class NvmlProcessInfo:
+    """Mirror of ``nvmlProcessInfo_t`` for compute processes."""
+
+    pid: int
+    usedGpuMemory: int
+
+
+@dataclass(frozen=True)
+class NvmlDeviceHandle:
+    """Opaque device handle, valid only for the library that created it."""
+
+    index: int
+    _host_id: int
+
+
+class NvmlLibrary:
+    """Instance-based NVML shim bound to one :class:`GPUHost`."""
+
+    def __init__(self, host: GPUHost) -> None:
+        self._host = host
+        self._initialized = False
+
+    # -- lifecycle ------------------------------------------------------ #
+    def nvmlInit(self) -> None:
+        """Initialise the library (idempotent, like the real NVML)."""
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        """Shut the library down; subsequent calls raise."""
+        self._initialized = False
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise NVMLError(
+                NVMLError.NVML_ERROR_UNINITIALIZED, "library not initialized"
+            )
+
+    # -- system queries -------------------------------------------------- #
+    def nvmlSystemGetDriverVersion(self) -> str:
+        """Driver version string, e.g. ``"455.45.01"``."""
+        self._require_init()
+        return self._host.driver_version
+
+    def nvmlSystemGetCudaDriverVersion(self) -> int:
+        """CUDA driver version as NVML encodes it (11.1 -> 11010)."""
+        self._require_init()
+        major, minor = (int(x) for x in self._host.cuda_version.split(".")[:2])
+        return major * 1000 + minor * 10
+
+    # -- device queries --------------------------------------------------- #
+    def nvmlDeviceGetCount(self) -> int:
+        """Number of devices the driver enumerates (lost devices drop out)."""
+        self._require_init()
+        return len(self._host.healthy_devices())
+
+    def nvmlDeviceGetHandleByIndex(self, index: int) -> NvmlDeviceHandle:
+        """Handle for device ``index``; invalid indices raise NVMLError."""
+        self._require_init()
+        if not 0 <= index < self._host.device_count:
+            raise NVMLError(
+                NVMLError.NVML_ERROR_INVALID_ARGUMENT, f"invalid index {index}"
+            )
+        return NvmlDeviceHandle(index=index, _host_id=id(self._host))
+
+    def _device(self, handle: NvmlDeviceHandle):
+        self._require_init()
+        if handle._host_id != id(self._host):
+            raise NVMLError(
+                NVMLError.NVML_ERROR_INVALID_ARGUMENT, "handle from another host"
+            )
+        return self._host.device(handle.index)
+
+    def nvmlDeviceGetName(self, handle: NvmlDeviceHandle) -> str:
+        """Marketing name of the device (``"Tesla K80"``)."""
+        return self._device(handle).arch.name
+
+    def nvmlDeviceGetUUID(self, handle: NvmlDeviceHandle) -> str:
+        """Stable device UUID."""
+        return self._device(handle).uuid
+
+    def nvmlDeviceGetMinorNumber(self, handle: NvmlDeviceHandle) -> int:
+        """Driver minor number (``/dev/nvidia<N>``)."""
+        return self._device(handle).minor_number
+
+    def nvmlDeviceGetMemoryInfo(self, handle: NvmlDeviceHandle) -> NvmlMemoryInfo:
+        """Framebuffer totals for the device, in bytes."""
+        dev = self._device(handle)
+        return NvmlMemoryInfo(
+            total=dev.memory.capacity, free=dev.memory.free_bytes, used=dev.memory.used
+        )
+
+    def nvmlDeviceGetUtilizationRates(self, handle: NvmlDeviceHandle) -> NvmlUtilization:
+        """Instantaneous SM / memory-controller utilisation percentages."""
+        dev = self._device(handle)
+        return NvmlUtilization(
+            gpu=int(round(dev.sm_utilization)), memory=int(round(dev.mem_utilization))
+        )
+
+    def nvmlDeviceGetComputeRunningProcesses(
+        self, handle: NvmlDeviceHandle
+    ) -> list[NvmlProcessInfo]:
+        """Compute processes holding a context on the device."""
+        dev = self._device(handle)
+        return [
+            NvmlProcessInfo(pid=p.pid, usedGpuMemory=dev.memory.used_by(p.pid))
+            for p in dev.compute_processes()
+        ]
+
+    def nvmlDeviceGetTemperature(self, handle: NvmlDeviceHandle) -> int:
+        """GPU core temperature in Celsius."""
+        return self._device(handle).temperature_c
+
+    def nvmlDeviceGetPowerUsage(self, handle: NvmlDeviceHandle) -> int:
+        """Power draw in milliwatts (NVML's unit)."""
+        return int(self._device(handle).power_draw_watts * 1000)
+
+
+# --------------------------------------------------------------------- #
+# module-level interface, mirroring `import pynvml; pynvml.nvmlInit()`
+# --------------------------------------------------------------------- #
+_default: NvmlLibrary | None = None
+
+
+def bind_host(host: GPUHost) -> None:
+    """Point the module-level NVML interface at ``host``.
+
+    In production code the "host" is implicit (the machine you run on);
+    in the simulator a test binds the host it built.  Binding does not
+    initialise — call :func:`nvmlInit` afterwards, as real code does.
+    """
+    global _default
+    _default = NvmlLibrary(host)
+
+
+def _lib() -> NvmlLibrary:
+    if _default is None:
+        raise NVMLError(
+            NVMLError.NVML_ERROR_UNINITIALIZED,
+            "no host bound; call gpusim.nvml.bind_host(host) first",
+        )
+    return _default
+
+
+def nvmlInit() -> None:
+    """Module-level ``nvmlInit`` against the bound host."""
+    _lib().nvmlInit()
+
+
+def nvmlShutdown() -> None:
+    """Module-level ``nvmlShutdown``."""
+    _lib().nvmlShutdown()
+
+
+def nvmlDeviceGetCount() -> int:
+    """Module-level device count."""
+    return _lib().nvmlDeviceGetCount()
+
+
+def nvmlDeviceGetHandleByIndex(index: int) -> NvmlDeviceHandle:
+    """Module-level handle lookup."""
+    return _lib().nvmlDeviceGetHandleByIndex(index)
+
+
+def nvmlDeviceGetMemoryInfo(handle: NvmlDeviceHandle) -> NvmlMemoryInfo:
+    """Module-level memory info."""
+    return _lib().nvmlDeviceGetMemoryInfo(handle)
+
+
+def nvmlDeviceGetUtilizationRates(handle: NvmlDeviceHandle) -> NvmlUtilization:
+    """Module-level utilisation rates."""
+    return _lib().nvmlDeviceGetUtilizationRates(handle)
+
+
+def nvmlDeviceGetComputeRunningProcesses(
+    handle: NvmlDeviceHandle,
+) -> list[NvmlProcessInfo]:
+    """Module-level compute process listing."""
+    return _lib().nvmlDeviceGetComputeRunningProcesses(handle)
+
+
+def nvmlSystemGetDriverVersion() -> str:
+    """Module-level driver version."""
+    return _lib().nvmlSystemGetDriverVersion()

@@ -1,0 +1,117 @@
+"""CTC-style decoding over per-frame logit matrices.
+
+Bonito's network emits per-frame probabilities over {blank, A, C, G, T}
+and decodes with CTC: collapse consecutive repeats, drop blanks.  Both
+the greedy best-path decoder and a small beam search are implemented;
+the basecaller uses greedy (Bonito's default ``bonito basecaller`` path),
+and the beam search exists for the accuracy ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Index of the CTC blank symbol in the logit matrices.
+BLANK = 0
+#: Default symbol table: blank + the four bases.
+DEFAULT_ALPHABET = "NACGT"
+
+
+def collapse(labels: list[int], blank: int = BLANK) -> list[int]:
+    """CTC collapse: merge consecutive repeats, then remove blanks."""
+    out: list[int] = []
+    previous: int | None = None
+    for label in labels:
+        if label != previous:
+            if label != blank:
+                out.append(label)
+            previous = label
+    return out
+
+
+def ctc_greedy_decode(
+    logits: np.ndarray, alphabet: str = DEFAULT_ALPHABET, blank: int = BLANK
+) -> str:
+    """Best-path decode: per-frame argmax, collapse, map to symbols."""
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (frames x symbols)")
+    if logits.shape[1] != len(alphabet):
+        raise ValueError(
+            f"logits have {logits.shape[1]} symbols, alphabet has {len(alphabet)}"
+        )
+    path = np.argmax(logits, axis=1).tolist()
+    return "".join(alphabet[i] for i in collapse(path, blank))
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=1, keepdims=True))
+
+
+def ctc_beam_search(
+    logits: np.ndarray,
+    beam_width: int = 8,
+    alphabet: str = DEFAULT_ALPHABET,
+    blank: int = BLANK,
+) -> str:
+    """Prefix beam search (log domain, no language model).
+
+    Maintains per-prefix probabilities split by whether the last frame
+    was a blank, which is what lets CTC distinguish ``AA`` from ``A``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2 or logits.shape[1] != len(alphabet):
+        raise ValueError("logits must be (frames x len(alphabet))")
+    if beam_width <= 0:
+        raise ValueError("beam_width must be positive")
+    log_probs = _log_softmax(logits)
+    NEG_INF = -math.inf
+
+    def logaddexp(a: float, b: float) -> float:
+        if a == NEG_INF:
+            return b
+        if b == NEG_INF:
+            return a
+        return max(a, b) + math.log1p(math.exp(-abs(a - b)))
+
+    # beams: prefix (tuple of symbol ids) -> (log P ending in blank,
+    #                                         log P ending in non-blank)
+    beams: dict[tuple[int, ...], tuple[float, float]] = {(): (0.0, NEG_INF)}
+    for frame in log_probs:
+        candidates: dict[tuple[int, ...], tuple[float, float]] = {}
+
+        def bump(prefix: tuple[int, ...], blank_lp: float, label_lp: float) -> None:
+            old_blank, old_label = candidates.get(prefix, (NEG_INF, NEG_INF))
+            candidates[prefix] = (
+                logaddexp(old_blank, blank_lp),
+                logaddexp(old_label, label_lp),
+            )
+
+        for prefix, (p_blank, p_label) in beams.items():
+            total = logaddexp(p_blank, p_label)
+            # Extend with blank: prefix unchanged.
+            bump(prefix, total + frame[blank], NEG_INF)
+            for symbol in range(len(alphabet)):
+                if symbol == blank:
+                    continue
+                lp = frame[symbol]
+                if prefix and prefix[-1] == symbol:
+                    # Repeat without blank merges into the same prefix ...
+                    bump(prefix, NEG_INF, p_label + lp)
+                    # ... while a repeat *after* a blank extends it.
+                    bump(prefix + (symbol,), NEG_INF, p_blank + lp)
+                else:
+                    bump(prefix + (symbol,), NEG_INF, total + lp)
+
+        ranked = sorted(
+            candidates.items(),
+            key=lambda item: logaddexp(item[1][0], item[1][1]),
+            reverse=True,
+        )
+        beams = dict(ranked[:beam_width])
+
+    best = max(beams.items(), key=lambda item: logaddexp(item[1][0], item[1][1]))
+    return "".join(alphabet[i] for i in best[0])

@@ -1,0 +1,62 @@
+"""FASTA parsing and serialisation."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tools.seqio.records import SeqRecord
+
+
+def parse_fasta(text: str) -> list[SeqRecord]:
+    """Parse FASTA text into records.
+
+    Tolerates leading blank lines and multi-line sequences; rejects
+    content before the first header.
+    """
+    records: list[SeqRecord] = []
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+
+    def flush() -> None:
+        if name is not None:
+            records.append(
+                SeqRecord(name=name, sequence="".join(chunks), description=description)
+            )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].split(None, 1)
+            if not header:
+                raise ValueError("FASTA header with no name")
+            name = header[0]
+            description = header[1] if len(header) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("sequence data before any FASTA header")
+            chunks.append(line)
+    flush()
+    return records
+
+
+def write_fasta(records: Iterable[SeqRecord], line_width: int = 80) -> str:
+    """Serialise records as FASTA with wrapped sequence lines."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    out: list[str] = []
+    for record in records:
+        header = f">{record.name}"
+        if record.description:
+            header += f" {record.description}"
+        out.append(header)
+        seq = record.sequence
+        for start in range(0, len(seq), line_width):
+            out.append(seq[start : start + line_width])
+        if not seq:
+            out.append("")
+    return "\n".join(out) + "\n"

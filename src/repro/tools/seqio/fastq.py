@@ -1,0 +1,47 @@
+"""FASTQ parsing and serialisation."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tools.seqio.records import SeqRecord
+
+
+def parse_fastq(text: str) -> list[SeqRecord]:
+    """Parse FASTQ text (strict four-line records)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) % 4 != 0:
+        raise ValueError(f"FASTQ line count {len(lines)} is not a multiple of 4")
+    records: list[SeqRecord] = []
+    for i in range(0, len(lines), 4):
+        header, sequence, plus, quality = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"record {i // 4}: header must start with '@'")
+        if not plus.startswith("+"):
+            raise ValueError(f"record {i // 4}: separator must start with '+'")
+        parts = header[1:].split(None, 1)
+        records.append(
+            SeqRecord(
+                name=parts[0],
+                sequence=sequence.strip(),
+                quality=quality.strip(),
+                description=parts[1] if len(parts) > 1 else "",
+            )
+        )
+    return records
+
+
+def write_fastq(records: Iterable[SeqRecord]) -> str:
+    """Serialise records as FASTQ; missing qualities become 'I' (Q40)."""
+    out: list[str] = []
+    for record in records:
+        quality = record.quality or "I" * len(record.sequence)
+        out.extend([f"@{record.name}", record.sequence, "+", quality])
+    return "\n".join(out) + "\n"
+
+
+def mean_quality(record: SeqRecord, offset: int = 33) -> float:
+    """Mean Phred quality of a record (0.0 when no quality string)."""
+    if not record.quality:
+        return 0.0
+    return sum(ord(c) - offset for c in record.quality) / len(record.quality)

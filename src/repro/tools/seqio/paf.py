@@ -1,0 +1,102 @@
+"""PAF (Pairwise mApping Format) records.
+
+Racon's command line takes reads, *mappings of reads to the backbone*
+(typically minimap2 PAF output), and the backbone itself.  Our mapper
+(:mod:`repro.tools.mapping`) and read simulator both emit these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PafRecord:
+    """One PAF line (the 12 mandatory columns)."""
+
+    query_name: str
+    query_length: int
+    query_start: int
+    query_end: int
+    strand: str  # '+' or '-'
+    target_name: str
+    target_length: int
+    target_start: int
+    target_end: int
+    residue_matches: int
+    alignment_block_length: int
+    mapping_quality: int = 60
+
+    def __post_init__(self) -> None:
+        if self.strand not in "+-":
+            raise ValueError(f"strand must be '+' or '-', got {self.strand!r}")
+        if not 0 <= self.query_start <= self.query_end <= self.query_length:
+            raise ValueError(f"bad query interval on {self.query_name}")
+        if not 0 <= self.target_start <= self.target_end <= self.target_length:
+            raise ValueError(f"bad target interval on {self.query_name}")
+
+    @property
+    def target_span(self) -> int:
+        """Bases of the target the mapping covers."""
+        return self.target_end - self.target_start
+
+    @property
+    def identity_estimate(self) -> float:
+        """Matches over block length (minimap2's gap-compressed analogue)."""
+        if self.alignment_block_length == 0:
+            return 0.0
+        return self.residue_matches / self.alignment_block_length
+
+    def to_line(self) -> str:
+        """Tab-separated PAF line."""
+        return "\t".join(
+            str(x)
+            for x in (
+                self.query_name,
+                self.query_length,
+                self.query_start,
+                self.query_end,
+                self.strand,
+                self.target_name,
+                self.target_length,
+                self.target_start,
+                self.target_end,
+                self.residue_matches,
+                self.alignment_block_length,
+                self.mapping_quality,
+            )
+        )
+
+
+def parse_paf(text: str) -> list[PafRecord]:
+    """Parse PAF text (mandatory columns; extra SAM-like tags ignored)."""
+    records: list[PafRecord] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split("\t")
+        if len(fields) < 12:
+            raise ValueError(f"PAF line {lineno}: expected >=12 fields, got {len(fields)}")
+        records.append(
+            PafRecord(
+                query_name=fields[0],
+                query_length=int(fields[1]),
+                query_start=int(fields[2]),
+                query_end=int(fields[3]),
+                strand=fields[4],
+                target_name=fields[5],
+                target_length=int(fields[6]),
+                target_start=int(fields[7]),
+                target_end=int(fields[8]),
+                residue_matches=int(fields[9]),
+                alignment_block_length=int(fields[10]),
+                mapping_quality=int(fields[11]),
+            )
+        )
+    return records
+
+
+def write_paf(records: list[PafRecord]) -> str:
+    """Serialise records as PAF text."""
+    return "\n".join(record.to_line() for record in records) + "\n"

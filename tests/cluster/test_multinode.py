@@ -1,0 +1,112 @@
+"""Multi-node GPU-aware dispatch."""
+
+import pytest
+
+from repro.cluster.multinode import (
+    ClusterDispatcher,
+    FirstAvailableGpuPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    build_cluster,
+    node_load,
+)
+from repro.galaxy.job import JobState
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(gpu_nodes=2, cpu_nodes=1)
+
+
+class TestBuildCluster:
+    def test_topology(self, cluster):
+        names = sorted(n.hostname for n in cluster.nodes)
+        assert names == ["cpu-node-0", "gpu-node-0", "gpu-node-1"]
+        assert sum(1 for n in cluster.nodes if n.has_gpus) == 2
+
+    def test_shared_clock(self, cluster):
+        clocks = {id(d.clock) for d in cluster.deployments.values()}
+        assert len(clocks) == 1
+
+    def test_loads_shape(self, cluster):
+        loads = cluster.loads()
+        assert [l.hostname for l in loads] == ["cpu-node-0", "gpu-node-0", "gpu-node-1"]
+        assert loads[1].gpu_total == 2 and loads[1].gpu_idle == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(gpu_nodes=1, policy="random")
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterDispatcher([])
+
+
+class TestFirstAvailableGpuPolicy:
+    def test_gpu_tool_goes_to_first_gpu_node(self, cluster):
+        job = cluster.submit_and_run("racon", {"workload": "unit"})
+        assert job.state is JobState.OK
+        assert cluster.history[-1].hostname == "gpu-node-0"
+        assert cluster.history[-1].wants_gpu
+
+    def test_cpu_tool_goes_to_cpu_node(self, cluster):
+        cluster.submit_and_run("seqstats", {"threads": 1})
+        assert cluster.history[-1].hostname == "cpu-node-0"
+        assert not cluster.history[-1].wants_gpu
+
+    def test_overflow_spills_to_second_gpu_node(self, cluster):
+        """Fill node 0's GPUs with overlapped jobs; the next GPU job
+        lands on node 1 — scheduling 'on single or multiple GPU nodes
+        based on the availability in the cluster'."""
+        cluster.launch_overlapped("racon")   # gpu-node-0, GPU 0
+        cluster.launch_overlapped("bonito")  # gpu-node-0, GPU 1
+        deployment, _, handle = cluster.launch_overlapped("racon")
+        assert deployment.node.hostname == "gpu-node-1"
+        assert handle.host_process.device_indices == [0]
+
+    def test_all_busy_picks_least_processes(self, cluster):
+        for _ in range(2):
+            cluster.launch_overlapped("racon")
+            cluster.launch_overlapped("bonito")
+        # all four GPUs busy; next job goes to the node with fewest procs
+        deployment, _, _ = cluster.launch_overlapped("racon")
+        assert deployment.node.hostname in ("gpu-node-0", "gpu-node-1")
+
+    def test_gpu_tool_on_cpu_only_cluster_degrades(self):
+        cluster = build_cluster(gpu_nodes=0, cpu_nodes=2)
+        job = cluster.submit_and_run("racon", {"workload": "unit"})
+        assert job.state is JobState.OK
+        assert job.command_line.startswith("racon ")
+
+
+class TestOtherPolicies:
+    def test_round_robin_rotates(self):
+        cluster = build_cluster(gpu_nodes=2, cpu_nodes=0, policy="round-robin")
+        hosts = []
+        for _ in range(4):
+            cluster.submit_and_run("racon", {"workload": "unit"})
+            hosts.append(cluster.history[-1].hostname)
+        assert hosts == ["gpu-node-0", "gpu-node-1", "gpu-node-0", "gpu-node-1"]
+
+    def test_least_loaded_balances(self):
+        cluster = build_cluster(gpu_nodes=2, cpu_nodes=0, policy="least-loaded")
+        cluster.launch_overlapped("racon")  # loads gpu-node-0
+        deployment, _, _ = cluster.launch_overlapped("racon")
+        assert deployment.node.hostname == "gpu-node-1"
+
+    def test_policy_instances_accepted(self):
+        for policy in (FirstAvailableGpuPolicy(), RoundRobinPolicy(), LeastLoadedPolicy()):
+            cluster = build_cluster(gpu_nodes=1, policy=policy.name)
+            assert cluster.policy.name == policy.name
+
+
+class TestNodeLoad:
+    def test_gpu_node_load(self, cluster):
+        node = next(n for n in cluster.nodes if n.hostname == "gpu-node-0")
+        load = node_load(node)
+        assert load.gpu_total == 2 and load.gpu_idle == 2 and load.gpu_processes == 0
+
+    def test_cpu_node_load(self, cluster):
+        node = next(n for n in cluster.nodes if n.hostname == "cpu-node-0")
+        load = node_load(node)
+        assert load.gpu_total == 0 and load.cpu_free == 48

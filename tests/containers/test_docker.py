@@ -1,0 +1,109 @@
+"""Docker runtime simulator: command assembly, GPU flag, overheads."""
+
+import pytest
+
+from repro.containers.docker import (
+    DOCKER_LAUNCH_OVERHEAD_S,
+    GPU_HOOK_OVERHEAD_S,
+    PER_VOLUME_OVERHEAD_S,
+    DockerRuntime,
+)
+from repro.containers.errors import GpuRuntimeMissingError, ImageNotFoundError
+from repro.containers.image import RACON_GPU_IMAGE, ImageRegistry
+from repro.containers.volumes import VolumeMount
+from repro.gpusim.clock import VirtualClock
+
+
+@pytest.fixture
+def runtime():
+    return DockerRuntime(ImageRegistry(), VirtualClock(), nvidia_docker_installed=True)
+
+
+class TestCommandAssembly:
+    def test_basic_command(self, runtime):
+        command = runtime.build_run_command(
+            "img:latest", ["racon", "-t", "4"], env={"A": "1"}
+        )
+        assert command[:3] == ["docker", "run", "--rm"]
+        assert "-e" in command and "A=1" in command
+        assert command[-3:] == ["racon", "-t", "4"]
+        assert "img:latest" in command
+
+    def test_gpus_all_flag_appended(self, runtime):
+        """GYAN's change: command_part.append("--gpus all") (§IV-B)."""
+        command = runtime.build_run_command("img", ["tool"], gpus="all")
+        assert "--gpus all" in command
+        # Flag precedes the image reference, like the real launch script.
+        assert command.index("--gpus all") < command.index("img")
+
+    def test_no_gpu_flag_by_default(self, runtime):
+        assert "--gpus all" not in runtime.build_run_command("img", ["tool"])
+
+    def test_volume_specs_with_modes(self, runtime):
+        volumes = [VolumeMount("/h", "/c", "rw"), VolumeMount("/i", "/d", "ro")]
+        command = runtime.build_run_command("img", ["t"], volumes=volumes)
+        assert "/h:/c:rw" in command and "/i:/d:ro" in command
+
+    def test_env_sorted_deterministic(self, runtime):
+        c1 = runtime.build_run_command("img", ["t"], env={"B": "2", "A": "1"})
+        c2 = runtime.build_run_command("img", ["t"], env={"A": "1", "B": "2"})
+        assert c1 == c2
+
+
+class TestRun:
+    def test_gpu_without_nvidia_docker_fails(self):
+        runtime = DockerRuntime(
+            ImageRegistry(), VirtualClock(), nvidia_docker_installed=False
+        )
+        with pytest.raises(GpuRuntimeMissingError):
+            runtime.run(RACON_GPU_IMAGE.reference, ["racon_gpu"], gpus="all")
+
+    def test_unknown_image_fails(self, runtime):
+        with pytest.raises(ImageNotFoundError):
+            runtime.run("ghost/image:1", ["tool"])
+
+    def test_cold_pull_then_cached(self, runtime):
+        first = runtime.run(RACON_GPU_IMAGE.reference, ["racon_gpu"])
+        second = runtime.run(RACON_GPU_IMAGE.reference, ["racon_gpu"])
+        assert first.pull_duration > 0
+        assert second.pull_duration == 0.0
+
+    def test_launch_overhead_near_paper_measurement(self, runtime):
+        """§VI-B: ~0.6 s container launching and cold start overhead."""
+        result = runtime.run(
+            RACON_GPU_IMAGE.reference,
+            ["racon_gpu"],
+            volumes=[VolumeMount("/a", "/b"), VolumeMount("/c", "/d")],
+            gpus="all",
+        )
+        expected = (
+            DOCKER_LAUNCH_OVERHEAD_S + 2 * PER_VOLUME_OVERHEAD_S + GPU_HOOK_OVERHEAD_S
+        )
+        assert result.launch_overhead == pytest.approx(expected)
+        assert 0.5 <= result.launch_overhead <= 0.7
+
+    def test_clock_charged(self, runtime):
+        clock = runtime.clock
+        runtime.run(RACON_GPU_IMAGE.reference, ["tool"])
+        assert clock.now > 0
+
+    def test_payload_runs_with_container_env(self, runtime):
+        seen = {}
+
+        def payload(env):
+            seen.update(env)
+            return "done"
+
+        result = runtime.run(
+            RACON_GPU_IMAGE.reference,
+            ["tool"],
+            payload=payload,
+            env={"CUDA_VISIBLE_DEVICES": "1"},
+        )
+        assert result.payload_result == "done"
+        assert seen["CUDA_VISIBLE_DEVICES"] == "1"
+
+    def test_run_log_records(self, runtime):
+        runtime.run(RACON_GPU_IMAGE.reference, ["tool"], gpus="all")
+        assert len(runtime.run_log) == 1
+        assert runtime.run_log[0].gpu_enabled

@@ -1,0 +1,154 @@
+"""Allocation strategies (paper §IV-C) — including property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.allocation import (
+    MemoryAllocationStrategy,
+    PidAllocationStrategy,
+    strategy_by_name,
+)
+from repro.core.gpu_usage import GpuUsageSnapshot
+
+
+def snapshot(busy: dict[str, int], fb: dict[str, int] | None = None) -> GpuUsageSnapshot:
+    """Build a snapshot: busy maps minor id -> process count."""
+    snap = GpuUsageSnapshot()
+    for gid, count in busy.items():
+        snap.all_gpus.append(gid)
+        snap.proc_gpu_dict[gid] = [str(1000 + i) for i in range(count)]
+        if count == 0:
+            snap.available_gpus.append(gid)
+        snap.fb_used_mib[gid] = (fb or {}).get(gid, 60 * count)
+    return snap
+
+
+class TestPidStrategy:
+    strategy = PidAllocationStrategy()
+
+    def test_requested_idle_device_granted(self):
+        decision = self.strategy.select(["1"], snapshot({"0": 0, "1": 0}))
+        assert decision.gpu_ids == ("1",)
+        assert decision.cuda_visible_devices == "1"
+
+    def test_requested_busy_falls_to_available(self):
+        """Paper Case 2: Bonito wants GPU 1 (busy) -> lands on GPU 0."""
+        decision = self.strategy.select(["1"], snapshot({"0": 0, "1": 1}))
+        assert decision.gpu_ids == ("0",)
+
+    def test_all_busy_scatters_to_all(self):
+        """Paper Case 3: both GPUs busy -> processes scattered to both."""
+        decision = self.strategy.select(["0"], snapshot({"0": 1, "1": 1}))
+        assert decision.gpu_ids == ("0", "1")
+        assert decision.cuda_visible_devices == "0,1"
+
+    def test_no_preference_takes_all_available(self):
+        decision = self.strategy.select([], snapshot({"0": 0, "1": 0}))
+        assert decision.gpu_ids == ("0", "1")
+
+    def test_invalid_requested_id_ignored(self):
+        decision = self.strategy.select(["7"], snapshot({"0": 0, "1": 0}))
+        assert set(decision.gpu_ids) == {"0", "1"}
+
+    def test_multi_id_request_granted_when_all_idle(self):
+        decision = self.strategy.select(["0", "1"], snapshot({"0": 0, "1": 0}))
+        assert decision.gpu_ids == ("0", "1")
+
+    def test_multi_id_request_partial_busy_falls_back(self):
+        decision = self.strategy.select(["0", "1"], snapshot({"0": 1, "1": 0}))
+        assert decision.gpu_ids == ("1",)
+
+    def test_empty_host(self):
+        decision = self.strategy.select(["0"], snapshot({}))
+        assert decision.is_empty
+
+
+class TestMemoryStrategy:
+    strategy = MemoryAllocationStrategy()
+
+    def test_requested_idle_device_granted(self):
+        decision = self.strategy.select(["1"], snapshot({"0": 0, "1": 0}))
+        assert decision.gpu_ids == ("1",)
+
+    def test_min_memory_wins_under_contention(self):
+        """Paper Case 4: second Bonito lands on the 60 MiB GPU 0, not on
+        the fuller GPU 1."""
+        snap = snapshot({"0": 1, "1": 1}, fb={"0": 60, "1": 2734})
+        decision = self.strategy.select(["1"], snap)
+        assert decision.gpu_ids == ("0",)
+        assert "60 MiB" in decision.reason
+
+    def test_single_device_selected_never_scatter(self):
+        snap = snapshot({"0": 2, "1": 3}, fb={"0": 500, "1": 400})
+        decision = self.strategy.select([], snap)
+        assert len(decision.gpu_ids) == 1
+        assert decision.gpu_ids == ("1",)
+
+    def test_tie_breaks_low_id(self):
+        snap = snapshot({"0": 1, "1": 1}, fb={"0": 100, "1": 100})
+        assert self.strategy.select([], snap).gpu_ids == ("0",)
+
+    def test_empty_host(self):
+        assert self.strategy.select([], snapshot({})).is_empty
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(strategy_by_name("pid"), PidAllocationStrategy)
+        assert isinstance(strategy_by_name("memory"), MemoryAllocationStrategy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("roundrobin")
+
+
+# ----------------------------------------------------------------------- #
+# properties
+# ----------------------------------------------------------------------- #
+host_state = st.dictionaries(
+    keys=st.sampled_from(["0", "1", "2", "3"]),
+    values=st.integers(min_value=0, max_value=3),
+    min_size=1,
+    max_size=4,
+)
+requests = st.lists(st.sampled_from(["0", "1", "2", "3", "9"]), max_size=3)
+
+
+@given(busy=host_state, requested=requests)
+def test_pid_selection_always_within_host_and_nonempty(busy, requested):
+    decision = PidAllocationStrategy().select(requested, snapshot(busy))
+    assert decision.gpu_ids  # a host with GPUs always yields a selection
+    assert set(decision.gpu_ids) <= set(busy)
+
+
+@given(busy=host_state, requested=requests)
+def test_pid_prefers_idle_devices_when_any_exist(busy, requested):
+    snap = snapshot(busy)
+    decision = PidAllocationStrategy().select(requested, snap)
+    if snap.available_gpus:
+        assert set(decision.gpu_ids) <= set(snap.available_gpus)
+
+
+@given(busy=host_state, requested=requests)
+def test_memory_selects_argmin_when_not_requested_idle(busy, requested):
+    snap = snapshot(busy)
+    decision = MemoryAllocationStrategy().select(requested, snap)
+    assert set(decision.gpu_ids) <= set(busy)
+    valid_requested = [g for g in requested if g in snap.all_gpus]
+    requested_all_idle = valid_requested and all(
+        g in snap.available_gpus for g in valid_requested
+    )
+    if not requested_all_idle:
+        (chosen,) = decision.gpu_ids
+        minimum = min(snap.fb_used_mib[g] for g in snap.all_gpus)
+        assert snap.fb_used_mib[chosen] == minimum
+
+
+@given(busy=host_state, requested=requests)
+def test_both_strategies_honor_fully_idle_requests(busy, requested):
+    snap = snapshot(busy)
+    valid = [g for g in requested if g in snap.all_gpus]
+    if valid and all(g in snap.available_gpus for g in valid):
+        for strategy in (PidAllocationStrategy(), MemoryAllocationStrategy()):
+            decision = strategy.select(requested, snap)
+            assert list(decision.gpu_ids) == valid

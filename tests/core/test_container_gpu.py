@@ -1,0 +1,30 @@
+"""Container GPU flag providers (Challenge III)."""
+
+from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
+
+
+class TestDockerFlagProvider:
+    def test_enabled(self):
+        assert docker_gpu_flag_provider({"GALAXY_GPU_ENABLED": "true"}) == "all"
+
+    def test_disabled(self):
+        assert docker_gpu_flag_provider({"GALAXY_GPU_ENABLED": "false"}) is None
+
+    def test_absent_means_disabled(self):
+        assert docker_gpu_flag_provider({}) is None
+
+    def test_never_emits_device_ids(self):
+        """§IV-C1: --gpus <ids> 'did not work as intended'; only 'all'."""
+        env = {"GALAXY_GPU_ENABLED": "true", "CUDA_VISIBLE_DEVICES": "1"}
+        assert docker_gpu_flag_provider(env) == "all"
+
+
+class TestSingularityNvProvider:
+    def test_enabled(self):
+        assert singularity_nv_provider({"GALAXY_GPU_ENABLED": "true"}) is True
+
+    def test_disabled(self):
+        assert singularity_nv_provider({"GALAXY_GPU_ENABLED": "false"}) is False
+
+    def test_absent_means_disabled(self):
+        assert singularity_nv_provider({}) is False

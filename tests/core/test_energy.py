@@ -1,0 +1,55 @@
+"""Energy accounting over monitor telemetry."""
+
+import pytest
+
+from repro.core.energy import EnergyMeter, power_watts
+from repro.gpusim.profiler import CudaProfiler
+
+
+class TestPowerModel:
+    def test_idle_and_limit(self, host):
+        device = host.device(0)
+        assert power_watts(device, 0.0) == pytest.approx(26.0)
+        assert power_watts(device, 100.0) == pytest.approx(149.0)
+        assert power_watts(device, 50.0) == pytest.approx((26 + 149) / 2)
+
+
+class TestEnergyMeter:
+    def test_idle_job_draws_idle_power(self, deployment):
+        job = deployment.run_tool("seqstats", {"threads": 1})
+        meter = EnergyMeter(deployment.monitor)
+        report = meter.job_energy(job.job_id)
+        # Both idle K80 dies at ~26 W for the 0.5 s run.
+        assert report.total_joules == pytest.approx(2 * 26.0 * 0.5, rel=0.05)
+        assert report.mean_watts == pytest.approx(52.0, rel=0.05)
+
+    def test_gpu_job_draws_more_than_idle(self, deployment):
+        job = deployment.run_tool("racon", {"threads": 4, "workload": "unit"})
+        meter = EnergyMeter(deployment.monitor)
+        report = meter.job_energy(job.job_id)
+        idle_energy = 2 * 26.0 * report.duration_seconds
+        assert report.total_joules > idle_energy
+        assert report.per_device_joules[0] > report.per_device_joules[1]
+
+    def test_paper_scale_energy_comparison(self, deployment):
+        """The extension headline: the ~2x Racon speedup also roughly
+        halves the board-level energy of a run."""
+        gpu_job = deployment.run_tool("racon", {"threads": 4, "workload": "dataset"})
+        meter = EnergyMeter(deployment.monitor)
+        report = meter.job_energy(gpu_job.job_id)
+        assert report.duration_seconds == pytest.approx(200.0, rel=0.05)
+        # Mean draw sits between idle (52 W for two dies) and peak.
+        assert 52.0 <= report.mean_watts <= 298.0
+        assert report.total_joules > 0
+
+    def test_compare_jobs(self, deployment):
+        job_a = deployment.run_tool("racon", {"workload": "unit"})
+        job_b = deployment.run_tool("racon", {"workload": "unit"})
+        meter = EnergyMeter(deployment.monitor)
+        ratio = meter.compare(job_a.job_id, job_b.job_id)
+        assert ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_unmonitored_job_raises(self, deployment):
+        meter = EnergyMeter(deployment.monitor)
+        with pytest.raises(KeyError):
+            meter.job_energy(424242)

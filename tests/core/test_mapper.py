@@ -1,0 +1,83 @@
+"""GpuComputationMapper — the paper's Pseudocode 2 logic."""
+
+import pytest
+
+from repro.core.allocation import MemoryAllocationStrategy
+from repro.core.mapper import GpuComputationMapper
+from repro.galaxy.job import GalaxyJob
+from repro.galaxy.tool_xml import parse_tool_xml
+
+
+def gpu_tool(version="0"):
+    attr = f' version="{version}"' if version else ""
+    return parse_tool_xml(
+        f'<tool id="g"><requirements>'
+        f'<requirement type="compute"{attr}>gpu</requirement>'
+        f"</requirements><command>racon_gpu</command></tool>"
+    )
+
+
+CPU_TOOL = parse_tool_xml('<tool id="c"><command>racon</command></tool>')
+
+
+class TestPrepareEnvironment:
+    def test_gpu_tool_on_gpu_host(self, host):
+        mapper = GpuComputationMapper(host)
+        env = mapper.prepare_environment(GalaxyJob(tool=gpu_tool("0")))
+        assert env["GALAXY_GPU_ENABLED"] == "true"
+        assert env["CUDA_VISIBLE_DEVICES"] == "0"
+
+    def test_cpu_tool_stays_cpu(self, host):
+        mapper = GpuComputationMapper(host)
+        env = mapper.prepare_environment(GalaxyJob(tool=CPU_TOOL))
+        assert env == {"GALAXY_GPU_ENABLED": "false"}
+
+    def test_gpu_tool_without_host_degrades(self):
+        mapper = GpuComputationMapper(host=None)
+        env = mapper.prepare_environment(GalaxyJob(tool=gpu_tool()))
+        assert env["GALAXY_GPU_ENABLED"] == "false"
+        assert "CUDA_VISIBLE_DEVICES" not in env
+
+    def test_busy_requested_device_redirected(self, host):
+        host.launch_process("other", cuda_visible_devices="0")
+        mapper = GpuComputationMapper(host)
+        env = mapper.prepare_environment(GalaxyJob(tool=gpu_tool("0")))
+        assert env["CUDA_VISIBLE_DEVICES"] == "1"
+
+    def test_memory_strategy_pluggable(self, host):
+        host.launch_process("a", cuda_visible_devices="0")
+        host.launch_process("b", cuda_visible_devices="1")
+        host.device(1).alloc(2 * 1024**3, pid=1)
+        mapper = GpuComputationMapper(host, strategy=MemoryAllocationStrategy())
+        env = mapper.prepare_environment(GalaxyJob(tool=gpu_tool("1")))
+        assert env["CUDA_VISIBLE_DEVICES"] == "0"
+
+    def test_no_gpu_ids_preference_exposes_available(self, host):
+        mapper = GpuComputationMapper(host)
+        env = mapper.prepare_environment(GalaxyJob(tool=gpu_tool(version="")))
+        assert env["CUDA_VISIBLE_DEVICES"] == "0,1"
+
+
+class TestAuditTrail:
+    def test_history_records_decisions(self, host):
+        mapper = GpuComputationMapper(host)
+        mapper.prepare_environment(GalaxyJob(tool=gpu_tool("1")))
+        mapper.prepare_environment(GalaxyJob(tool=CPU_TOOL))
+        assert len(mapper.history) == 2
+        assert mapper.history[0].gpu_enabled
+        assert mapper.history[0].requested_ids == ["1"]
+        assert not mapper.history[1].gpu_enabled
+        assert mapper.history[1].decision is None
+
+    def test_last_decision_skips_cpu_jobs(self, host):
+        mapper = GpuComputationMapper(host)
+        mapper.prepare_environment(GalaxyJob(tool=gpu_tool("1")))
+        mapper.prepare_environment(GalaxyJob(tool=CPU_TOOL))
+        assert mapper.last_decision().gpu_ids == ("1",)
+
+    def test_last_decision_none_initially(self, host):
+        assert GpuComputationMapper(host).last_decision() is None
+
+    def test_gpu_count_via_nvml(self, host):
+        assert GpuComputationMapper(host).gpu_count() == 2
+        assert GpuComputationMapper(None).gpu_count() == 0

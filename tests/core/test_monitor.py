@@ -1,0 +1,135 @@
+"""GPU hardware usage monitor (paper §V-C)."""
+
+import pytest
+
+from repro.core.monitor import GPUUsageMonitor
+from repro.galaxy.job import GalaxyJob
+from repro.galaxy.tool_xml import parse_tool_xml
+from repro.gpusim.kernels import KernelLaunch, KernelTimingModel
+
+
+def make_job():
+    return GalaxyJob(tool=parse_tool_xml('<tool id="t"><command>x</command></tool>'))
+
+
+class TestSampling:
+    def test_one_sample_per_second_per_device(self, host):
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(5.0)
+        monitor.stop(job)
+        session = monitor.session_for(job.job_id)
+        # start sample + 5 ticks + stop sample, for each of 2 devices
+        times = sorted({s.time for s in session.samples})
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert len(session.samples) == 6 * 2
+
+    def test_timestamps_strictly_increasing_per_device(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(7.3)
+        monitor.stop(job)
+        for device_index in (0, 1):
+            stamps = [
+                s.time
+                for s in monitor.session_for(job.job_id).samples
+                if s.device_index == device_index
+            ]
+            assert stamps == sorted(stamps)
+            assert len(set(stamps)) == len(stamps)
+
+    def test_observes_kernel_utilization_mid_run(self, host):
+        """Samples taken while a (simulated) kernel is executing see the
+        device's utilisation, the monitor's whole purpose."""
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        timing = KernelTimingModel(host, host.device(0))
+        timing.launch(
+            KernelLaunch("big", 60, 256, flops=1e9, bytes_read=6e11, bytes_written=0)
+        )
+        monitor.stop(job)
+        samples = [
+            s
+            for s in monitor.session_for(job.job_id).samples
+            if s.device_index == 0 and s.gpu_utilization > 0
+        ]
+        assert samples, "monitor never saw the kernel running"
+
+    def test_stop_idempotent(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(2.0)
+        monitor.stop(job)
+        count = len(monitor.session_for(job.job_id).samples)
+        monitor.stop(job)
+        assert len(monitor.session_for(job.job_id).samples) == count
+
+    def test_sampling_stops_after_job(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(2.0)
+        monitor.stop(job)
+        count = len(monitor.session_for(job.job_id).samples)
+        host.clock.advance(10.0)
+        assert len(monitor.session_for(job.job_id).samples) == count
+
+    def test_concurrent_jobs_sampled_independently(self, host):
+        monitor = GPUUsageMonitor(host)
+        job_a, job_b = make_job(), make_job()
+        monitor.start(job_a)
+        host.clock.advance(2.0)
+        monitor.start(job_b)
+        host.clock.advance(2.0)
+        monitor.stop(job_a)
+        monitor.stop(job_b)
+        a_samples = monitor.session_for(job_a.job_id).samples
+        b_samples = monitor.session_for(job_b.job_id).samples
+        assert min(s.time for s in a_samples) == 0.0
+        assert min(s.time for s in b_samples) == 2.0
+
+    def test_invalid_interval(self, host):
+        with pytest.raises(ValueError):
+            GPUUsageMonitor(host, interval=0.0)
+
+
+class TestPostProcessing:
+    def test_statistics_min_max_avg(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.device(0).sm_utilization = 50.0
+        host.clock.advance(1.0)
+        host.device(0).sm_utilization = 100.0
+        host.clock.advance(1.0)
+        monitor.stop(job)
+        stats = {s.device_index: s for s in monitor.session_for(job.job_id).statistics}
+        assert stats[0].gpu_util_min == 0.0
+        assert stats[0].gpu_util_max == 100.0
+        assert 0 < stats[0].gpu_util_avg < 100.0
+        assert stats[1].gpu_util_max == 0.0
+
+    def test_csv_output_shape(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(3.0)
+        monitor.stop(job)
+        csv = monitor.to_csv(job.job_id)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("time,device,gpu_utilization")
+        assert len(lines) == 1 + len(monitor.session_for(job.job_id).samples)
+        assert lines[1].split(",")[1] in ("0", "1")
+
+    def test_statistics_report_mentions_devices(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(1.0)
+        monitor.stop(job)
+        report = monitor.statistics_report(job.job_id)
+        assert "GPU 0" in report and "GPU 1" in report

@@ -1,0 +1,92 @@
+"""Galaxy API facade."""
+
+import json
+
+import pytest
+
+from repro.galaxy.api import ApiError, GalaxyApi
+
+
+@pytest.fixture
+def api(deployment):
+    return GalaxyApi(deployment.app)
+
+
+class TestTools:
+    def test_list_tools(self, api):
+        tools = api.list_tools()
+        ids = [t["id"] for t in tools]
+        assert ids == sorted(ids)
+        assert "racon" in ids and "bonito" in ids
+
+    def test_show_tool_payload(self, api):
+        tool = api.show_tool("racon")
+        assert tool["requires_gpu"] is True
+        assert tool["requested_gpu_ids"] == ["0"]
+        assert any(p["name"] == "threads" for p in tool["inputs"])
+        assert tool["containers"][0]["type"] == "docker"
+
+    def test_show_unknown_tool_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.show_tool("ghost")
+        assert excinfo.value.status == 404
+
+    def test_payloads_json_serialisable(self, api):
+        json.dumps(api.list_tools())
+
+
+class TestJobs:
+    def test_run_tool_roundtrip(self, api):
+        created = api.run_tool(
+            {"tool_id": "racon", "inputs": {"threads": 4, "workload": "unit"}}
+        )
+        assert created["state"] == "ok"
+        assert created["destination"] == "local_gpu"
+        shown = api.show_job(created["id"])
+        assert shown["command_line"].startswith("racon_gpu")
+        assert shown["environment"]["GALAXY_GPU_ENABLED"] == "true"
+        assert shown["state_history"][-1]["state"] == "ok"
+        json.dumps(shown)
+
+    def test_run_tool_validation(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.run_tool({})
+        assert excinfo.value.status == 400
+        with pytest.raises(ApiError):
+            api.run_tool({"tool_id": "racon", "inputs": "notamapping"})
+        with pytest.raises(ApiError) as excinfo:
+            api.run_tool({"tool_id": "ghost"})
+        assert excinfo.value.status == 404
+
+    def test_list_jobs_with_state_filter(self, api, deployment):
+        api.run_tool({"tool_id": "racon", "inputs": {"workload": "unit"}})
+
+        def boom(argv, ctx):
+            raise RuntimeError("x")
+
+        deployment.app.register_executor("racon_gpu", boom)
+        api.run_tool({"tool_id": "racon", "inputs": {"workload": "unit"}})
+        assert len(api.list_jobs()) == 2
+        assert len(api.list_jobs(state="ok")) == 1
+        assert len(api.list_jobs(state="error")) == 1
+        with pytest.raises(ApiError):
+            api.list_jobs(state="exploded")
+
+    def test_show_unknown_job_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.show_job(99999)
+        assert excinfo.value.status == 404
+
+
+class TestHistories:
+    def test_history_contents_after_run(self, api):
+        api.run_tool({"tool_id": "racon", "inputs": {"workload": "unit"}})
+        histories = api.list_histories()
+        assert histories[0]["size"] == 1
+        contents = api.history_contents(0)
+        assert contents[0]["name"] == "racon/consensus"
+        assert contents[0]["format"] == "fasta"
+
+    def test_unknown_history_404(self, api):
+        with pytest.raises(ApiError):
+            api.history_contents(7)

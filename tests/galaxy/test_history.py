@@ -1,0 +1,37 @@
+"""Histories and datasets."""
+
+import pytest
+
+from repro.galaxy.history import Dataset, History
+
+
+class TestDataset:
+    def test_size_gib(self):
+        assert Dataset(name="x", size_bytes=17 * 1024**3).size_gib == pytest.approx(17.0)
+
+    def test_ids_unique(self):
+        assert Dataset(name="a").dataset_id != Dataset(name="b").dataset_id
+
+
+class TestHistory:
+    def test_add_and_get(self):
+        history = History("h")
+        dataset = history.add(Dataset(name="reads.fa"))
+        assert history.get("reads.fa") is dataset
+        assert len(history) == 1
+
+    def test_latest_version_wins(self):
+        history = History()
+        history.add(Dataset(name="out", payload=1))
+        newest = history.add(Dataset(name="out", payload=2))
+        assert history.get("out") is newest
+
+    def test_missing_name_raises(self):
+        with pytest.raises(KeyError):
+            History().get("ghost")
+
+    def test_iteration_in_order(self):
+        history = History()
+        for name in ("a", "b", "c"):
+            history.add(Dataset(name=name))
+        assert [d.name for d in history] == ["a", "b", "c"]

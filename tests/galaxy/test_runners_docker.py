@@ -1,0 +1,106 @@
+"""Docker job runner: container wiring, GPU flags, overhead accounting."""
+
+import pytest
+
+from repro.galaxy.errors import GalaxyError
+from repro.galaxy.job import JobState
+from repro.galaxy.runners.docker import DockerJobRunner
+
+
+@pytest.fixture
+def docker_deployment(deployment):
+    """Deployment with the racon tool routed through Docker."""
+    deployment.route_tool_to("racon", "docker_dynamic")
+    # warm the image cache so tests exercise the steady-state overhead
+    deployment.registry.pull("gulsumgudukbay/racon_dockerfile:latest")
+    return deployment
+
+
+def run_racon(dep, **params):
+    defaults = {"threads": 2, "batches": 4, "workload": "unit"}
+    defaults.update(params)
+    return dep.run_tool("racon", defaults)
+
+
+class TestDockerExecution:
+    def test_job_completes_through_container(self, docker_deployment):
+        job = run_racon(docker_deployment)
+        assert job.state is JobState.OK
+        assert job.metrics.destination_id == "docker_gpu"
+        assert job.metrics.container == "gulsumgudukbay/racon_dockerfile:latest"
+
+    def test_gpus_all_flag_present_for_gpu_job(self, docker_deployment):
+        run_racon(docker_deployment)
+        command = docker_deployment.docker_runtime.run_log[-1].command_line
+        assert "--gpus all" in command
+
+    def test_cuda_visible_devices_exported_not_gpus_ids(self, docker_deployment):
+        """§IV-C1: device selection rides CUDA_VISIBLE_DEVICES, the
+        container always gets --gpus all."""
+        run_racon(docker_deployment)
+        result = docker_deployment.docker_runtime.run_log[-1]
+        assert result.env["CUDA_VISIBLE_DEVICES"] == "0"
+        assert "--gpus all" in result.command_line
+        assert "--gpus 0" not in result.command_line
+
+    def test_container_overhead_recorded(self, docker_deployment):
+        job = run_racon(docker_deployment)
+        assert job.metrics.breakdown["container_launch"] == pytest.approx(0.61, abs=0.02)
+        assert job.metrics.breakdown["container_pull"] == 0.0
+
+    def test_cold_pull_charged_on_first_use(self, deployment):
+        deployment.route_tool_to("racon", "docker_dynamic")
+        job = run_racon(deployment)
+        assert job.metrics.breakdown["container_pull"] > 0
+
+    def test_volumes_mounted(self, docker_deployment):
+        run_racon(docker_deployment)
+        command = docker_deployment.docker_runtime.run_log[-1].command_line
+        assert "/data/working:rw" in command
+        assert "/data/inputs:ro" in command
+
+    def test_gpu_process_visible_during_run(self, docker_deployment):
+        launched = docker_deployment.docker_runner.launch(
+            docker_deployment.app.submit("racon", {"workload": "unit"}),
+            docker_deployment.job_config.destination("docker_gpu"),
+        )
+        assert docker_deployment.gpu_host.device(0).process_pids() != []
+        docker_deployment.docker_runner.finish(launched)
+        assert docker_deployment.gpu_host.device(0).is_idle
+
+
+class TestValidation:
+    def test_non_docker_destination_rejected(self, docker_deployment):
+        job = docker_deployment.app.submit("racon", {"workload": "unit"})
+        with pytest.raises(GalaxyError):
+            docker_deployment.docker_runner.launch(
+                job, docker_deployment.job_config.destination("local_gpu")
+            )
+
+    def test_tool_without_container_rejected(self, docker_deployment):
+        from repro.galaxy.tool_xml import parse_tool_xml
+
+        docker_deployment.app.install_tool(
+            parse_tool_xml('<tool id="bare"><command>racon -t 1</command></tool>')
+        )
+        job = docker_deployment.app.submit("bare", {"workload": "unit"})
+        with pytest.raises(GalaxyError):
+            docker_deployment.docker_runner.launch(
+                job, docker_deployment.job_config.destination("docker_gpu")
+            )
+
+
+class TestStockBehaviour:
+    def test_stock_docker_runner_never_adds_gpu_flag(self, docker_deployment):
+        """Without GYAN's flag provider, containers launch GPU-less —
+        the pre-GYAN Galaxy behaviour."""
+        stock = DockerJobRunner(
+            docker_deployment.app,
+            docker=docker_deployment.docker_runtime,
+            gpu_mapper=docker_deployment.mapper,
+            gpu_flag_provider=None,
+        )
+        job = docker_deployment.app.submit("racon", {"workload": "unit"})
+        stock.queue_job(job, docker_deployment.job_config.destination("docker_gpu"))
+        command = docker_deployment.docker_runtime.run_log[-1].command_line
+        assert "--gpus" not in command

@@ -1,0 +1,112 @@
+"""DRM (Slurm-style) runner: admission, submit scripts, gres requests."""
+
+import pytest
+
+from repro.cluster.scheduler import ClusterScheduler
+from repro.galaxy.errors import GalaxyError
+from repro.galaxy.job import JobState
+from repro.galaxy.runners.drm import DrmJobRunner
+
+
+@pytest.fixture
+def drm(deployment):
+    scheduler = ClusterScheduler(deployment.node)
+    runner = DrmJobRunner(
+        deployment.app,
+        scheduler,
+        gpu_mapper=deployment.mapper,
+        usage_monitor=deployment.monitor,
+    )
+    deployment.app.register_runner("drm", runner)
+    return runner
+
+
+def gpu_destination(deployment):
+    return deployment.job_config.destination("local_gpu")
+
+
+class TestExecution:
+    def test_job_completes_through_scheduler(self, deployment, drm):
+        job = deployment.app.submit("racon", {"threads": 4, "workload": "unit"})
+        drm.queue_job(job, gpu_destination(deployment))
+        assert job.state is JobState.OK
+        assert job.command_line.startswith("racon_gpu")
+        assert drm.scheduler.stats()["done"] == 1
+
+    def test_submit_script_carries_gres_and_env(self, deployment, drm):
+        job = deployment.app.submit("racon", {"threads": 4, "workload": "unit"})
+        drm.queue_job(job, gpu_destination(deployment))
+        script = drm.script_for(job.job_id)
+        assert script.startswith("#!/bin/bash")
+        assert "#SBATCH --partition=gpu" in script
+        assert "#SBATCH --cpus-per-task=4" in script
+        assert "#SBATCH --gres=gpu:1" in script
+        assert "export CUDA_VISIBLE_DEVICES=0" in script
+        assert "export GALAXY_GPU_ENABLED=true" in script
+        assert "racon_gpu -t 4" in script
+
+    def test_cpu_tool_requests_no_gres(self, deployment, drm):
+        job = deployment.app.submit("seqstats", {"threads": 2})
+        drm.queue_job(job, deployment.job_config.destination("local_cpu"))
+        script = drm.script_for(job.job_id)
+        assert "--gres" not in script
+        assert "--cpus-per-task=2" in script
+
+    def test_multi_gpu_job_gres_count(self, deployment, drm):
+        """A scatter decision (all devices busy) requests gpu:2."""
+        deployment.gpu_host.launch_process("hog0", cuda_visible_devices="0")
+        deployment.gpu_host.launch_process("hog1", cuda_visible_devices="1")
+        job = deployment.app.submit("racon", {"threads": 1, "workload": "unit"})
+        drm.queue_job(job, gpu_destination(deployment))
+        assert "#SBATCH --gres=gpu:2" in drm.script_for(job.job_id)
+
+
+class TestQueueing:
+    def test_full_node_queues_instead_of_failing(self, deployment, drm):
+        token = deployment.node.reserve_cpus(deployment.node.cpu_slots_free)
+        job = deployment.app.submit("racon", {"threads": 4, "workload": "unit"})
+        drm.queue_job(job, gpu_destination(deployment))
+        assert job.state is JobState.NEW  # still queued at the DRM
+        deployment.node.release_cpus(token)
+        drm.scheduler.pump()
+        assert job.state is JobState.OK
+
+    def test_queued_gpu_job_sees_start_time_occupancy(self, deployment, drm):
+        """GYAN's mapping runs when the DRM *starts* the job: a device
+        that was busy at submit but free at start is used."""
+        token = deployment.node.reserve_cpus(deployment.node.cpu_slots_free)
+        hog = deployment.gpu_host.launch_process("hog", cuda_visible_devices="0")
+        job = deployment.app.submit("racon", {"threads": 4, "workload": "unit"})
+        drm.queue_job(job, gpu_destination(deployment))
+        # Before start: GPU 0 busy.  Free everything, then let it run.
+        deployment.gpu_host.terminate_process(hog.pid)
+        deployment.node.release_cpus(token)
+        drm.scheduler.pump()
+        assert job.environment["CUDA_VISIBLE_DEVICES"] == "0"  # its request
+
+    def test_fifo_order_preserved(self, deployment, drm):
+        token = deployment.node.reserve_cpus(deployment.node.cpu_slots_free)
+        jobs = [
+            deployment.app.submit("racon", {"threads": 2, "workload": "unit"})
+            for _ in range(3)
+        ]
+        for job in jobs:
+            drm.submit(job, gpu_destination(deployment))
+        deployment.node.release_cpus(token)
+        drm.scheduler.pump()
+        starts = [job.metrics.start_time for job in jobs]
+        assert starts == sorted(starts)
+        assert all(job.state is JobState.OK for job in jobs)
+
+    def test_scheduler_node_must_match_app(self, deployment):
+        from repro.cluster.node import ComputeNode
+
+        other = ClusterScheduler(ComputeNode.cpu_only())
+        runner = DrmJobRunner(deployment.app, other)
+        job = deployment.app.submit("racon", {"workload": "unit"})
+        with pytest.raises(GalaxyError):
+            runner.submit(job, gpu_destination(deployment))
+
+    def test_script_lookup_unknown_job(self, drm):
+        with pytest.raises(KeyError):
+            drm.script_for(424242)

@@ -1,0 +1,76 @@
+"""Singularity job runner: --nv wiring and the bind-mode fix."""
+
+import pytest
+
+from repro.containers.errors import InvalidBindOptionError
+from repro.galaxy.job import JobState
+from repro.galaxy.runners.singularity import SingularityJobRunner
+
+
+@pytest.fixture
+def singularity_deployment(deployment):
+    deployment.route_tool_to("racon", "singularity_gpu")
+    deployment.registry.pull("gulsumgudukbay/racon_dockerfile:latest")
+    return deployment
+
+
+def run_racon(dep, **params):
+    defaults = {"threads": 2, "batches": 4, "workload": "unit"}
+    defaults.update(params)
+    return dep.run_tool("racon", defaults)
+
+
+class TestSingularityExecution:
+    def test_job_completes_with_nv(self, singularity_deployment):
+        job = run_racon(singularity_deployment)
+        assert job.state is JobState.OK
+        command = singularity_deployment.singularity_runtime.run_log[-1].command_line
+        assert "--nv" in command
+
+    def test_bind_modes_stripped_with_nv(self, singularity_deployment):
+        """GYAN's fix: rw/ro flags removed when the GPU flag is added."""
+        run_racon(singularity_deployment)
+        command = singularity_deployment.singularity_runtime.run_log[-1].command_line
+        assert ":rw" not in command and ":ro" not in command
+        assert "/data/working" in command
+
+    def test_without_fix_singularity31_fails(self, singularity_deployment):
+        broken = SingularityJobRunner(
+            singularity_deployment.app,
+            singularity=singularity_deployment.singularity_runtime,
+            gpu_mapper=singularity_deployment.mapper,
+            nv_flag_provider=lambda env: env.get("GALAXY_GPU_ENABLED") == "true",
+            strip_bind_modes_with_nv=False,
+        )
+        job = singularity_deployment.app.submit("racon", {"workload": "unit"})
+        singularity_deployment.app.environment["GALAXY_GPU_ENABLED"] = "true"
+        broken.queue_job(
+            job, singularity_deployment.job_config.destination("singularity_gpu")
+        )
+        assert job.state is JobState.ERROR
+        assert "invalid option" in job.stderr
+
+    def test_cpu_job_keeps_bind_modes(self, singularity_deployment):
+        """The fix only applies alongside --nv; CPU containers are
+        untouched (original flow retained)."""
+        from repro.galaxy.tool_xml import parse_tool_xml
+
+        singularity_deployment.app.install_tool(
+            parse_tool_xml(
+                '<tool id="cpu_in_sif">'
+                "<requirements>"
+                '<container type="docker">gulsumgudukbay/racon_dockerfile:latest</container>'
+                "</requirements>"
+                "<command>racon -t 1</command></tool>"
+            )
+        )
+        singularity_deployment.route_tool_to("cpu_in_sif", "singularity_gpu")
+        job = singularity_deployment.run_tool("cpu_in_sif", {"workload": "unit"})
+        assert job.state is JobState.OK
+        command = singularity_deployment.singularity_runtime.run_log[-1].command_line
+        assert "--nv" not in command
+        assert ":rw" in command
+
+    def test_overhead_cheaper_than_docker(self, singularity_deployment):
+        job = run_racon(singularity_deployment)
+        assert job.metrics.breakdown["container_launch"] < 0.3

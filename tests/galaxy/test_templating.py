@@ -1,0 +1,127 @@
+"""CheetahLite template engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.galaxy.errors import TemplateError
+from repro.galaxy.templating import CheetahLite
+
+
+class TestSubstitution:
+    def test_plain_and_braced(self):
+        template = CheetahLite("run $tool with ${threads}")
+        assert template.render({"tool": "racon", "threads": 4}) == "run racon with 4"
+
+    def test_dotted_access_on_mappings_and_objects(self):
+        class Obj:
+            value = 7
+
+        template = CheetahLite("$a.b $o.value")
+        assert template.render({"a": {"b": 3}, "o": Obj()}) == "3 7"
+
+    def test_none_renders_empty(self):
+        assert CheetahLite("x$maybe!").render({"maybe": None}) == "x!"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("$missing").render({})
+
+    def test_dunder_names_allowed(self):
+        """GYAN's __galaxy_gpu_enabled__ key must resolve (paper Code 3)."""
+        template = CheetahLite("$__galaxy_gpu_enabled__")
+        assert template.render({"__galaxy_gpu_enabled__": "true"}) == "true"
+
+    def test_braced_expression(self):
+        assert CheetahLite("${threads * 2}").render({"threads": 3}) == "6"
+
+
+class TestConditionals:
+    RACON = CheetahLite(
+        "#if $__galaxy_gpu_enabled__ == \"true\"\n"
+        "racon_gpu --cudapoa-batches $batches\n"
+        "#else\n"
+        "racon -t $threads\n"
+        "#end if"
+    )
+
+    def test_gpu_arm(self):
+        out = self.RACON.render_command(
+            {"__galaxy_gpu_enabled__": "true", "batches": 16, "threads": 4}
+        )
+        assert out == "racon_gpu --cudapoa-batches 16"
+
+    def test_cpu_arm(self):
+        out = self.RACON.render_command(
+            {"__galaxy_gpu_enabled__": "false", "batches": 16, "threads": 4}
+        )
+        assert out == "racon -t 4"
+
+    def test_elif_chain(self):
+        template = CheetahLite(
+            "#if $n > 10\nbig\n#elif $n > 5\nmedium\n#else\nsmall\n#end if"
+        )
+        assert template.render_command({"n": 20}) == "big"
+        assert template.render_command({"n": 7}) == "medium"
+        assert template.render_command({"n": 1}) == "small"
+
+    def test_nested_ifs(self):
+        template = CheetahLite(
+            "#if $a\n#if $b\nboth\n#else\nonly-a\n#end if\n#end if"
+        )
+        assert template.render_command({"a": True, "b": True}) == "both"
+        assert template.render_command({"a": True, "b": False}) == "only-a"
+        assert template.render_command({"a": False, "b": True}) == ""
+
+    def test_unterminated_if_rejected(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("#if $a\nx")
+
+    def test_orphan_end_rejected(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("#end if")
+
+
+class TestLoopsAndSet:
+    def test_for_loop(self):
+        template = CheetahLite("#for $f in $files\n--input $f\n#end for")
+        out = template.render_command({"files": ["a.fa", "b.fa"]})
+        assert out == "--input a.fa --input b.fa"
+
+    def test_set_assignment(self):
+        template = CheetahLite('#set $mode = "gpu" if $on else "cpu"\nmode=$mode')
+        assert template.render_command({"on": True}) == "mode=gpu"
+        assert template.render_command({"on": False}) == "mode=cpu"
+
+    def test_malformed_set_rejected(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("#set nonsense")
+
+    def test_malformed_for_rejected(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("#for broken\n#end for")
+
+
+class TestSafety:
+    def test_builtins_not_reachable(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("${open('/etc/passwd')}").render({})
+
+    def test_import_not_reachable(self):
+        with pytest.raises(TemplateError):
+            CheetahLite("${__import__('os')}").render({})
+
+    def test_whitelisted_builtins_work(self):
+        assert CheetahLite("${len(items)}").render({"items": [1, 2, 3]}) == "3"
+        assert CheetahLite("${str(min(2, 1))}").render({}) == "1"
+
+
+class TestRenderCommand:
+    def test_whitespace_collapsed_to_single_line(self):
+        template = CheetahLite("a\n\n   b\n c  ")
+        assert template.render_command({}) == "a b c"
+
+    @given(st.integers(min_value=0, max_value=99), st.integers(min_value=0, max_value=99))
+    def test_values_always_land_verbatim(self, threads, batches):
+        template = CheetahLite("tool -t $threads -b $batches")
+        out = template.render_command({"threads": threads, "batches": batches})
+        assert out == f"tool -t {threads} -b {batches}"

@@ -1,0 +1,137 @@
+"""Virtual clock and timeline behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.clock import Timeline, VirtualClock
+from repro.gpusim.errors import ClockError
+
+
+class TestVirtualClock:
+    def test_starts_at_epoch(self):
+        assert VirtualClock().now == 0.0
+        assert VirtualClock(epoch=10.0).now == 10.0
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+        assert clock.now == 3.0
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_zero_advance_is_legal(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1.0)
+
+    def test_backwards_advance_to_rejected(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_callbacks_fire_in_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(3.0, lambda now: fired.append(("c", now)))
+        clock.call_at(1.0, lambda now: fired.append(("a", now)))
+        clock.call_at(2.0, lambda now: fired.append(("b", now)))
+        clock.advance(5.0)
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_callback_sees_its_own_instant(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_later(1.0, lambda now: seen.append(now))
+        clock.advance(10.0)
+        assert seen == [1.0]
+        assert clock.now == 10.0
+
+    def test_callbacks_beyond_horizon_stay_pending(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(100.0, lambda now: fired.append(now))
+        clock.advance(5.0)
+        assert fired == []
+        assert clock.pending_count() == 1
+
+    def test_rearm_from_callback(self):
+        """A callback may schedule the next one (how the monitor samples)."""
+        clock = VirtualClock()
+        ticks = []
+
+        def tick(now):
+            ticks.append(now)
+            if now < 5.0:
+                clock.call_later(1.0, tick)
+
+        clock.call_later(1.0, tick)
+        clock.advance(10.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_all(self):
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda now: None)
+        clock.call_at(2.0, lambda now: None)
+        assert clock.cancel_all() == 2
+        assert clock.pending_count() == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().call_later(-1.0, lambda now: None)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=30))
+    def test_monotone_under_any_advance_sequence(self, deltas):
+        clock = VirtualClock()
+        previous = clock.now
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now >= previous
+            previous = clock.now
+
+
+class TestTimeline:
+    def test_records_and_iterates_chronologically(self):
+        timeline = Timeline()
+        timeline.record(2.0, "b")
+        timeline.record(1.0, "a")
+        timeline.record(3.0, "c")
+        assert [e.label for e in timeline] == ["a", "b", "c"]
+
+    def test_between_is_half_open(self):
+        timeline = Timeline()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            timeline.record(t, f"e{t}")
+        labels = [e.label for e in timeline.between(1.0, 3.0)]
+        assert labels == ["e1.0", "e2.0"]
+
+    def test_labelled_filter(self):
+        timeline = Timeline()
+        timeline.record(0.0, "x")
+        timeline.record(1.0, "y")
+        timeline.record(2.0, "x")
+        assert len(timeline.labelled("x")) == 2
+
+    def test_stable_order_for_equal_times(self):
+        timeline = Timeline()
+        first = timeline.record(1.0, "first")
+        second = timeline.record(1.0, "second")
+        ordered = list(timeline)
+        assert ordered.index(first) < ordered.index(second)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=50))
+    def test_iteration_always_sorted(self, times):
+        timeline = Timeline()
+        for i, t in enumerate(times):
+            timeline.record(t, str(i))
+        ordered = [e.time for e in timeline]
+        assert ordered == sorted(ordered)

@@ -1,0 +1,87 @@
+"""CUDA events."""
+
+import pytest
+
+from repro.gpusim.events import CudaEvent, EventApi, EventError
+from repro.gpusim.kernels import KernelLaunch, KernelTimingModel, MemcpyKind
+from repro.gpusim.streams import CudaStream, StreamEngine
+
+
+@pytest.fixture
+def api(host):
+    timing = KernelTimingModel(host, host.device(0))
+    return EventApi(StreamEngine(timing))
+
+
+def kernel(seconds: float) -> KernelLaunch:
+    achievable = 240e9 * 0.70
+    return KernelLaunch("k", 60, 256, flops=1.0,
+                        bytes_read=seconds * achievable, bytes_written=0)
+
+
+class TestRecordAndElapsed:
+    def test_elapsed_measures_device_phase(self, api):
+        stream = CudaStream()
+        start, end = CudaEvent(), CudaEvent()
+        api.record(start, stream)
+        api.engine.launch_async(kernel(0.25), stream)
+        api.record(end, stream)
+        assert api.elapsed_time_ms(start, end) == pytest.approx(250.0, rel=0.01)
+
+    def test_elapsed_independent_of_host_time(self, api, host):
+        stream = CudaStream()
+        start, end = CudaEvent(), CudaEvent()
+        api.record(start, stream)
+        api.engine.launch_async(kernel(0.1), stream)
+        api.record(end, stream)
+        host.clock.advance(100.0)  # host wanders off
+        assert api.elapsed_time_ms(start, end) == pytest.approx(100.0, rel=0.01)
+
+    def test_unrecorded_events_rejected(self, api):
+        with pytest.raises(EventError):
+            api.elapsed_time_ms(CudaEvent(), CudaEvent())
+
+    def test_reversed_events_rejected(self, api):
+        stream = CudaStream()
+        early, late = CudaEvent(), CudaEvent()
+        api.record(early, stream)
+        api.engine.launch_async(kernel(0.1), stream)
+        api.record(late, stream)
+        with pytest.raises(EventError):
+            api.elapsed_time_ms(late, early)
+
+    def test_event_ids_unique(self):
+        assert CudaEvent().event_id != CudaEvent().event_id
+
+
+class TestQueryAndSync:
+    def test_query_false_until_complete(self, api, host):
+        stream = CudaStream()
+        api.engine.launch_async(kernel(1.0), stream)
+        event = api.record(CudaEvent(), stream)
+        assert not api.query(event)  # host hasn't reached it
+        host.clock.advance(2.0)
+        assert api.query(event)
+
+    def test_query_unrecorded_is_false(self, api):
+        assert not api.query(CudaEvent())
+
+    def test_synchronize_blocks_host_to_event(self, api, host):
+        stream = CudaStream()
+        api.engine.launch_async(kernel(0.5), stream)
+        event = api.record(CudaEvent(), stream)
+        now = api.synchronize(event)
+        assert now == pytest.approx(event.timestamp)
+        assert host.clock.now >= event.timestamp
+
+    def test_synchronize_unrecorded_rejected(self, api):
+        with pytest.raises(EventError):
+            api.synchronize(CudaEvent())
+
+    def test_measures_memcpy_phase(self, api):
+        stream = CudaStream()
+        start = api.record(CudaEvent(), stream)
+        api.engine.memcpy_async(MemcpyKind.HOST_TO_DEVICE, 1.2e9, stream)
+        end = api.record(CudaEvent(), stream)
+        expected_ms = 1.2e9 / 12e9 * 1000
+        assert api.elapsed_time_ms(start, end) == pytest.approx(expected_ms, rel=0.01)

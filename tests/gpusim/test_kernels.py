@@ -1,0 +1,142 @@
+"""Kernel timing model: roofline, occupancy, transfers, allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.kernels import (
+    KernelLaunch,
+    KernelTimingModel,
+    MALLOC_PER_GIB_S,
+    MemcpyKind,
+)
+from repro.gpusim.profiler import CudaProfiler
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def timing(host):
+    proc = host.launch_process("tool", cuda_visible_devices="0")
+    return KernelTimingModel(
+        host, host.device(0), profiler=CudaProfiler(), pid=proc.pid
+    )
+
+
+class TestKernelLaunchValidation:
+    def test_positive_geometry_required(self):
+        with pytest.raises(ValueError):
+            KernelLaunch("k", 0, 64, 1, 1, 1)
+        with pytest.raises(ValueError):
+            KernelLaunch("k", 1, 0, 1, 1, 1)
+
+    def test_derived_quantities(self):
+        kernel = KernelLaunch("k", 4, 128, flops=10, bytes_read=6, bytes_written=4)
+        assert kernel.total_bytes == 10
+        assert kernel.total_threads == 512
+
+
+class TestOccupancy:
+    def test_more_blocks_never_less_occupancy(self, timing):
+        occs = [
+            timing.occupancy(KernelLaunch("k", blocks, 256, 1, 1, 1))
+            for blocks in (1, 2, 4, 8, 15, 30)
+        ]
+        assert occs == sorted(occs)
+        assert occs[-1] <= 1.0
+
+    def test_single_block_underutilizes(self, timing):
+        """§II-C: more blocks per kernel means better scaling."""
+        one = timing.occupancy(KernelLaunch("k", 1, 256, 1, 1, 1))
+        full = timing.occupancy(KernelLaunch("k", 60, 256, 1, 1, 1))
+        assert one < full
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self, timing):
+        kernel = KernelLaunch("k", 60, 256, flops=1e6, bytes_read=8e9, bytes_written=0)
+        execution = timing.launch(kernel)
+        assert execution.memory_bound
+        assert execution.duration >= execution.memory_time
+
+    def test_compute_bound_kernel(self, timing):
+        kernel = KernelLaunch("k", 60, 256, flops=1e13, bytes_read=1e3, bytes_written=0)
+        execution = timing.launch(kernel)
+        assert not execution.memory_bound
+
+    def test_launch_advances_clock_by_duration(self, timing, host):
+        before = host.clock.now
+        execution = timing.launch(KernelLaunch("k", 60, 256, 1e9, 1e9, 0))
+        assert host.clock.now == pytest.approx(before + execution.duration)
+
+    def test_launch_sets_device_utilization(self, timing, host):
+        timing.launch(KernelLaunch("k", 60, 256, 1e9, 1e9, 0))
+        assert host.device(0).sm_utilization > 0
+        assert host.device(0).busy_seconds > 0
+
+    @given(
+        blocks=st.integers(1, 64),
+        threads=st.integers(32, 1024),
+        flops=st.floats(1e3, 1e12),
+        nbytes=st.floats(1e3, 1e10),
+    )
+    def test_duration_positive_and_bounded_below(self, blocks, threads, flops, nbytes):
+        from repro.gpusim.host import make_k80_host
+
+        host = make_k80_host()
+        timing = KernelTimingModel(host, host.device(0))
+        compute, memory, occ = timing.kernel_times(
+            KernelLaunch("k", blocks, threads, flops, nbytes, 0)
+        )
+        assert compute > 0 and memory > 0 and 0 < occ <= 1
+
+
+class TestMemcpy:
+    def test_duration_scales_with_bytes(self, timing):
+        small = timing.memcpy(MemcpyKind.HOST_TO_DEVICE, 1e6)
+        large = timing.memcpy(MemcpyKind.HOST_TO_DEVICE, 1e9)
+        assert large > small * 100
+
+    def test_pcie_efficiency_slows_transfers(self, host):
+        pinned = KernelTimingModel(host, host.device(0), pcie_efficiency=1.0)
+        staged = KernelTimingModel(host, host.device(0), pcie_efficiency=0.1)
+        assert staged.memcpy(MemcpyKind.HOST_TO_DEVICE, 1e9) > 9 * pinned.memcpy(
+            MemcpyKind.HOST_TO_DEVICE, 1e9
+        )
+
+    def test_negative_bytes_rejected(self, timing):
+        with pytest.raises(ValueError):
+            timing.memcpy(MemcpyKind.DEVICE_TO_HOST, -1)
+
+    def test_invalid_efficiency_rejected(self, host):
+        with pytest.raises(ValueError):
+            KernelTimingModel(host, host.device(0), pcie_efficiency=0.0)
+        with pytest.raises(ValueError):
+            KernelTimingModel(host, host.device(0), pcie_efficiency=1.5)
+
+
+class TestMallocAndApi:
+    def test_malloc_charges_memory_and_time(self, timing, host):
+        before = host.clock.now
+        allocation = timing.malloc(8 * GIB)
+        assert host.device(0).memory.used >= 8 * GIB
+        # ~2 s for 8 GiB: the paper's Racon allocation phase.
+        assert host.clock.now - before == pytest.approx(
+            8 * MALLOC_PER_GIB_S, rel=0.01
+        )
+        timing.free(allocation)
+        assert host.device(0).memory.used < GIB
+
+    def test_synchronize_records_and_advances(self, timing, host):
+        before = host.clock.now
+        timing.synchronize()
+        assert host.clock.now > before
+        assert timing.profiler.call_count("cudaStreamSynchronize") == 1
+
+    def test_api_call_aggregation(self, timing, host):
+        timing.api_call("cudaLaunchKernel", 1.5, category="launch")
+        assert host.clock.now >= 1.5
+        assert timing.profiler.total_time("launch") == pytest.approx(1.5)
+
+    def test_api_call_rejects_negative(self, timing):
+        with pytest.raises(ValueError):
+            timing.api_call("x", -1.0)

@@ -1,0 +1,105 @@
+"""NVML shim: API shape, error discipline, state fidelity."""
+
+import pytest
+
+from repro.gpusim import nvml
+from repro.gpusim.errors import NVMLError
+from repro.gpusim.host import make_k80_host
+from repro.gpusim.memory import MIB
+from repro.gpusim.nvml import NvmlLibrary
+
+
+@pytest.fixture
+def lib(host):
+    library = NvmlLibrary(host)
+    library.nvmlInit()
+    return library
+
+
+class TestLifecycle:
+    def test_use_before_init_raises_uninitialized(self, host):
+        library = NvmlLibrary(host)
+        with pytest.raises(NVMLError) as excinfo:
+            library.nvmlDeviceGetCount()
+        assert excinfo.value.code == NVMLError.NVML_ERROR_UNINITIALIZED
+
+    def test_shutdown_invalidates(self, lib):
+        lib.nvmlShutdown()
+        with pytest.raises(NVMLError):
+            lib.nvmlDeviceGetCount()
+
+    def test_reinit_after_shutdown(self, lib):
+        lib.nvmlShutdown()
+        lib.nvmlInit()
+        assert lib.nvmlDeviceGetCount() == 2
+
+
+class TestQueries:
+    def test_device_count(self, lib):
+        assert lib.nvmlDeviceGetCount() == 2
+
+    def test_handle_validation(self, lib):
+        with pytest.raises(NVMLError) as excinfo:
+            lib.nvmlDeviceGetHandleByIndex(5)
+        assert excinfo.value.code == NVMLError.NVML_ERROR_INVALID_ARGUMENT
+
+    def test_handle_from_other_host_rejected(self, lib):
+        other = NvmlLibrary(make_k80_host())
+        other.nvmlInit()
+        foreign = other.nvmlDeviceGetHandleByIndex(0)
+        with pytest.raises(NVMLError):
+            lib.nvmlDeviceGetMemoryInfo(foreign)
+
+    def test_memory_info_tracks_device(self, host, lib):
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        before = lib.nvmlDeviceGetMemoryInfo(handle)
+        assert before.used == 0
+        assert before.total == before.free == host.device(0).memory.capacity
+        host.launch_process("tool", cuda_visible_devices="0")
+        after = lib.nvmlDeviceGetMemoryInfo(handle)
+        assert after.used == 60 * MIB
+        assert after.total == after.used + after.free
+
+    def test_utilization_rates(self, host, lib):
+        host.device(1).sm_utilization = 95.0
+        host.device(1).mem_utilization = 40.0
+        util = lib.nvmlDeviceGetUtilizationRates(lib.nvmlDeviceGetHandleByIndex(1))
+        assert util.gpu == 95 and util.memory == 40
+
+    def test_compute_running_processes(self, host, lib):
+        proc = host.launch_process("/usr/bin/bonito", cuda_visible_devices="1")
+        handle = lib.nvmlDeviceGetHandleByIndex(1)
+        infos = lib.nvmlDeviceGetComputeRunningProcesses(handle)
+        assert [p.pid for p in infos] == [proc.pid]
+        assert infos[0].usedGpuMemory == 60 * MIB
+        assert lib.nvmlDeviceGetComputeRunningProcesses(
+            lib.nvmlDeviceGetHandleByIndex(0)
+        ) == []
+
+    def test_identity_queries(self, lib):
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        assert lib.nvmlDeviceGetName(handle) == "Tesla K80"
+        assert lib.nvmlDeviceGetMinorNumber(handle) == 0
+        assert lib.nvmlDeviceGetUUID(handle).startswith("GPU-")
+
+    def test_versions(self, lib):
+        assert lib.nvmlSystemGetDriverVersion() == "455.45.01"
+        assert lib.nvmlSystemGetCudaDriverVersion() == 11010
+
+    def test_power_and_temperature(self, host, lib):
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        assert lib.nvmlDeviceGetTemperature(handle) >= 35
+        assert lib.nvmlDeviceGetPowerUsage(handle) > 0
+
+
+class TestModuleLevelInterface:
+    def test_module_interface_mirrors_pynvml(self, host):
+        nvml.bind_host(host)
+        nvml.nvmlInit()
+        try:
+            assert nvml.nvmlDeviceGetCount() == 2
+            handle = nvml.nvmlDeviceGetHandleByIndex(0)
+            assert nvml.nvmlDeviceGetMemoryInfo(handle).used == 0
+            assert nvml.nvmlSystemGetDriverVersion() == "455.45.01"
+        finally:
+            nvml.nvmlShutdown()

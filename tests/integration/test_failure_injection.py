@@ -1,0 +1,154 @@
+"""Failure injection across the stack: every error path exercised."""
+
+import pytest
+
+from repro.containers.errors import GpuRuntimeMissingError, ImageNotFoundError
+from repro.core import build_deployment
+from repro.galaxy.job import JobState
+from repro.gpusim.errors import DeviceOutOfMemoryError
+from repro.tools.executors import register_paper_tools
+
+
+class TestContainerFailures:
+    def test_missing_nvidia_docker_fails_gpu_container_job(self):
+        """The failure GYAN's availability checks exist to avoid: GPU
+        flag without the NVIDIA runtime installed."""
+        deployment = build_deployment(nvidia_docker_installed=False)
+        register_paper_tools(deployment.app)
+        deployment.route_tool_to("racon", "docker_dynamic")
+        job = deployment.run_tool("racon", {"workload": "unit"})
+        assert job.state is JobState.ERROR
+        assert "nvidia-docker" in job.stderr
+
+    def test_missing_image_fails_job(self, deployment):
+        from repro.galaxy.tool_xml import parse_tool_xml
+
+        deployment.app.install_tool(
+            parse_tool_xml(
+                '<tool id="ghosted">'
+                "<requirements>"
+                '<requirement type="compute">gpu</requirement>'
+                '<container type="docker">nobody/ghost:1</container>'
+                "</requirements>"
+                "<command>racon_gpu -t 1</command></tool>"
+            )
+        )
+        deployment.route_tool_to("ghosted", "docker_dynamic")
+        job = deployment.run_tool("ghosted", {"workload": "unit"})
+        assert job.state is JobState.ERROR
+        assert "not found" in job.stderr
+
+    def test_gpu_process_released_after_container_failure(self):
+        deployment = build_deployment(nvidia_docker_installed=False)
+        register_paper_tools(deployment.app)
+        deployment.route_tool_to("racon", "docker_dynamic")
+        deployment.run_tool("racon", {"workload": "unit"})
+        assert all(d.is_idle for d in deployment.gpu_host.devices)
+
+
+class TestDeviceFailures:
+    def test_device_oom_inside_tool_fails_job_cleanly(self, deployment):
+        """A tool that over-allocates device memory errors out, and the
+        device is fully reclaimed afterwards."""
+        from repro.galaxy.app import ToolExecutionResult
+        from repro.gpusim.kernels import KernelTimingModel
+
+        def hog(argv, ctx):
+            timing = KernelTimingModel(
+                ctx.node.gpu_host, ctx.gpu_devices[0], pid=ctx.pid
+            )
+            timing.malloc(50 * 1024**3)  # > 11441 MiB
+            return ToolExecutionResult()
+
+        deployment.app.register_executor("racon_gpu", hog)
+        job = deployment.run_tool("racon", {"workload": "unit"})
+        assert job.state is JobState.ERROR
+        assert "out of memory" in job.stderr
+        assert deployment.gpu_host.device(0).memory.used == 0
+
+    def test_monitor_stops_even_when_tool_crashes(self, deployment):
+        def boom(argv, ctx):
+            ctx.clock.advance(2.5)
+            raise RuntimeError("mid-run crash")
+
+        deployment.app.register_executor("racon_gpu", boom)
+        job = deployment.run_tool("racon", {"workload": "unit"})
+        assert job.state is JobState.ERROR
+        session = deployment.monitor.session_for(job.job_id)
+        assert session.stopped
+        assert len(session.samples) >= 3  # sampled through the crash
+
+
+class TestSchedulingEdgeCases:
+    def test_empty_cuda_visible_devices_means_cpu(self, deployment):
+        """An empty device mask exposes nothing; the process attaches
+        nowhere and the tool must fall back to its CPU arm."""
+        proc = deployment.gpu_host.launch_process("x", cuda_visible_devices="")
+        assert proc.device_indices == []
+        deployment.gpu_host.terminate_process(proc.pid)
+
+    def test_malformed_mask_truncates_not_crashes(self, deployment):
+        proc = deployment.gpu_host.launch_process(
+            "x", cuda_visible_devices="1,garbage,0"
+        )
+        assert proc.device_indices == [1]
+        deployment.gpu_host.terminate_process(proc.pid)
+
+    def test_many_sequential_jobs_leave_no_residue(self, deployment):
+        for _ in range(10):
+            job = deployment.run_tool("racon", {"workload": "unit"})
+            assert job.state is JobState.OK
+        assert all(d.is_idle for d in deployment.gpu_host.devices)
+        assert deployment.gpu_host.device(0).memory.used == 0
+        assert deployment.node.cpu_slots_free == 48
+
+    def test_workflow_failure_leaves_devices_clean(self, deployment):
+        from repro.galaxy.workflow import WorkflowDefinition, WorkflowRunner
+
+        def boom(argv, ctx):
+            raise RuntimeError("step crash")
+
+        deployment.app.register_executor("racon_gpu", boom)
+        wf = WorkflowDefinition(name="doomed")
+        wf.add_step("racon", {"workload": "unit"})
+        wf.add_step("seqstats", {"threads": 1})
+        invocation = WorkflowRunner(deployment.app).invoke(wf)
+        assert not invocation.succeeded
+        assert all(d.is_idle for d in deployment.gpu_host.devices)
+
+
+class TestHistoryCollection:
+    def test_successful_job_outputs_land_in_history(self, deployment):
+        before = len(deployment.app.histories[0])
+        deployment.run_tool("racon", {"workload": "unit"})
+        history = deployment.app.histories[0]
+        assert len(history) == before + 1
+        dataset = history.get("racon/consensus")
+        assert dataset.format == "fasta"
+        assert dataset.created_by_job is not None
+
+    def test_failed_job_adds_nothing(self, deployment):
+        def boom(argv, ctx):
+            raise RuntimeError("x")
+
+        deployment.app.register_executor("racon_gpu", boom)
+        before = len(deployment.app.histories[0])
+        deployment.run_tool("racon", {"workload": "unit"})
+        assert len(deployment.app.histories[0]) == before
+
+
+class TestChromeTrace:
+    def test_trace_export_valid_json(self, deployment):
+        import json
+
+        from repro.gpusim.profiler import CudaProfiler
+
+        deployment.app.profiler = CudaProfiler()
+        deployment.run_tool("racon", {"workload": "dataset"})
+        trace = json.loads(deployment.app.profiler.to_chrome_trace())
+        events = trace["traceEvents"]
+        assert events
+        assert all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "generatePOAKernel" in names
+        assert all(e["dur"] >= 0 for e in events)

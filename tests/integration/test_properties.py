@@ -1,0 +1,105 @@
+"""Cross-cutting property tests over generated host states and workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gpu_usage import get_gpu_usage, get_gpu_usage_snapshot
+from repro.gpusim.host import GPUHost
+from repro.gpusim.smi import SmiSoup, process_placement, render_xml
+
+# A random host state: device count and a sequence of launch/terminate
+# actions with device masks.
+host_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["launch", "terminate"]),
+        st.text(alphabet="0123,", max_size=6),
+    ),
+    max_size=20,
+)
+
+
+def build_host(device_count: int, actions) -> GPUHost:
+    host = GPUHost(device_count=device_count)
+    live: list[int] = []
+    for action, mask in actions:
+        if action == "launch":
+            proc = host.launch_process("tool", cuda_visible_devices=mask or None)
+            live.append(proc.pid)
+        elif live:
+            host.terminate_process(live.pop(0))
+    return host
+
+
+class TestSmiRoundtrip:
+    @given(device_count=st.integers(1, 4), actions=host_actions)
+    @settings(max_examples=40, deadline=None)
+    def test_render_parse_recovers_placement(self, device_count, actions):
+        """For ANY reachable host state, parsing nvidia-smi XML recovers
+        the exact (minor id -> pids) placement — the property GYAN's
+        Pseudocode 1 depends on."""
+        host = build_host(device_count, actions)
+        soup = SmiSoup(render_xml(host))
+        parsed: dict[int, list[int]] = {}
+        for gpu in soup.find("nvidia_smi_log").find_all("gpu"):
+            minor = int(gpu.find("minor_number").text)
+            parsed[minor] = [
+                int(pi.find("pid").text)
+                for pi in gpu.find("processes").find_all("process_info")
+            ]
+        assert parsed == process_placement(host)
+
+    @given(device_count=st.integers(1, 4), actions=host_actions)
+    @settings(max_examples=40, deadline=None)
+    def test_get_gpu_usage_partitions_devices(self, device_count, actions):
+        """available + busy always partitions all_gpus, and matches the
+        devices' live process state."""
+        host = build_host(device_count, actions)
+        available, all_gpus = get_gpu_usage(host)
+        assert all_gpus == [str(i) for i in range(device_count)]
+        assert set(available) <= set(all_gpus)
+        for device in host.devices:
+            gid = str(device.minor_number)
+            assert (gid in available) == device.is_idle
+
+    @given(device_count=st.integers(1, 4), actions=host_actions)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_memory_consistent(self, device_count, actions):
+        """fb_used + fb_free == capacity for every device, always."""
+        host = build_host(device_count, actions)
+        snapshot = get_gpu_usage_snapshot(host)
+        for device in host.devices:
+            gid = str(device.minor_number)
+            total = snapshot.fb_used_mib[gid] + snapshot.fb_free_mib[gid]
+            assert total == device.fb_total_mib
+
+
+class TestMapperProperties:
+    @given(
+        masks=st.lists(st.sampled_from(["0", "1", "0,1", None]), max_size=6),
+        strategy=st.sampled_from(["pid", "memory", "utilization"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mapping_env_always_wellformed(self, masks, strategy):
+        """Under ANY pre-existing occupancy and any strategy, the mapper
+        emits a well-formed environment whose devices exist."""
+        from repro.core.allocation import strategy_by_name
+        from repro.core.mapper import GpuComputationMapper
+        from repro.galaxy.job import GalaxyJob
+        from repro.galaxy.tool_xml import parse_tool_xml
+        from repro.gpusim.host import make_k80_host
+
+        host = make_k80_host()
+        for mask in masks:
+            host.launch_process("occupant", cuda_visible_devices=mask)
+        mapper = GpuComputationMapper(host, strategy=strategy_by_name(strategy))
+        tool = parse_tool_xml(
+            '<tool id="g"><requirements>'
+            '<requirement type="compute" version="0">gpu</requirement>'
+            "</requirements><command>racon_gpu</command></tool>"
+        )
+        env = mapper.prepare_environment(GalaxyJob(tool=tool))
+        assert env["GALAXY_GPU_ENABLED"] == "true"
+        devices = env["CUDA_VISIBLE_DEVICES"].split(",")
+        assert devices
+        assert set(devices) <= {"0", "1"}
+        assert len(set(devices)) == len(devices)

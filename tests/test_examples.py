@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing contract surface; these tests keep them from
+rotting as the library evolves.  Each example's ``main()`` is imported
+and executed (stdout captured by pytest).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    assert set(EXAMPLES) == {
+        "quickstart",
+        "polish_assembly",
+        "basecall_squiggles",
+        "multi_gpu_scheduling",
+        "containerized_tools",
+        "workflow_pipeline",
+        "denovo_assembly",
+        "train_basecaller",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()  # raises on any failure; examples assert their claims
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

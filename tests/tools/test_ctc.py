@@ -1,0 +1,115 @@
+"""CTC decoding: collapse semantics, greedy, beam search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tools.bonito.ctc import (
+    BLANK,
+    collapse,
+    ctc_beam_search,
+    ctc_greedy_decode,
+)
+
+
+def logits_for(path: list[int], n_symbols: int = 5, strength: float = 6.0) -> np.ndarray:
+    logits = np.full((len(path), n_symbols), -strength)
+    for frame, symbol in enumerate(path):
+        logits[frame, symbol] = strength
+    return logits
+
+
+class TestCollapse:
+    def test_repeats_merge(self):
+        assert collapse([1, 1, 2, 2, 2, 3]) == [1, 2, 3]
+
+    def test_blanks_removed(self):
+        assert collapse([0, 1, 0, 0, 2, 0]) == [1, 2]
+
+    def test_blank_separates_repeats(self):
+        assert collapse([1, 0, 1]) == [1, 1]
+        assert collapse([1, 1]) == [1]
+
+    def test_empty_and_all_blank(self):
+        assert collapse([]) == []
+        assert collapse([0, 0, 0]) == []
+
+    @given(st.lists(st.integers(0, 4), max_size=50))
+    def test_no_blanks_in_output(self, labels):
+        assert BLANK not in collapse(labels)
+
+    @given(st.lists(st.integers(0, 4), max_size=50))
+    def test_output_never_longer_than_input(self, labels):
+        assert len(collapse(labels)) <= len(labels)
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=20))
+    def test_collapse_not_idempotent_in_general(self, labels):
+        """Collapsing twice merges blank-separated repeats — the reason
+        CTC decoding must collapse exactly once ([1,0,1] -> [1,1] -> [1])."""
+        interleaved = []
+        for label in labels:
+            interleaved += [BLANK, label]
+        once = collapse(interleaved)
+        assert once == labels
+        twice = collapse(once)
+        assert len(twice) <= len(once)
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=20))
+    def test_blank_interleaving_preserves_labels(self, labels):
+        """blank label blank label ... decodes to exactly the labels."""
+        interleaved = []
+        for label in labels:
+            interleaved += [BLANK, label]
+        assert collapse(interleaved) == labels
+
+
+class TestGreedyDecode:
+    def test_simple_path(self):
+        assert ctc_greedy_decode(logits_for([1, 1, 0, 2, 0, 2, 3])) == "ACCG"
+
+    def test_all_blank_empty(self):
+        assert ctc_greedy_decode(logits_for([0, 0, 0])) == ""
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ctc_greedy_decode(np.zeros(5))
+        with pytest.raises(ValueError):
+            ctc_greedy_decode(np.zeros((3, 4)))  # alphabet is 5 symbols
+
+    def test_custom_alphabet(self):
+        out = ctc_greedy_decode(logits_for([1, 2], n_symbols=3), alphabet="-xy")
+        assert out == "xy"
+
+
+class TestBeamSearch:
+    def test_agrees_with_greedy_on_confident_input(self):
+        path = [1, 0, 2, 2, 0, 3, 4, 0]
+        logits = logits_for(path)
+        assert ctc_beam_search(logits, beam_width=4) == ctc_greedy_decode(logits)
+
+    def test_beats_greedy_on_mass_splitting(self):
+        """Classic CTC case: per-frame argmax picks blank, but summed
+        label mass wins under proper decoding."""
+        logits = np.log(np.array([
+            [0.4, 0.35, 0.25, 1e-9, 1e-9],
+            [0.4, 0.35, 0.25, 1e-9, 1e-9],
+        ]))
+        assert ctc_greedy_decode(logits) == ""
+        assert ctc_beam_search(logits, beam_width=8) == "A"
+
+    def test_repeat_requires_blank(self):
+        path = [1, 1, 0, 1]
+        logits = logits_for(path)
+        assert ctc_beam_search(logits) == "AA"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ctc_beam_search(np.zeros((2, 5)), beam_width=0)
+        with pytest.raises(ValueError):
+            ctc_beam_search(np.zeros((2, 3)))
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_confident_paths_match_greedy(self, path):
+        logits = logits_for(path, strength=9.0)
+        assert ctc_beam_search(logits, beam_width=4) == ctc_greedy_decode(logits)

@@ -1,0 +1,103 @@
+"""Minimizer mapper accuracy against ground truth."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tools.mapping import MinimizerIndex, MinimizerMapper, kmer_codes, minimizers
+from repro.tools.seqio.records import SeqRecord
+from repro.workloads.generator import simulate_genome, simulate_reads
+
+
+class TestKmerCodes:
+    def test_simple_codes(self):
+        # A=0 C=1 G=2 T=3; "ACG" = 0*16 + 1*4 + 2 = 6
+        assert list(kmer_codes("ACG", 3)) == [6]
+        assert list(kmer_codes("ACGT", 3)) == [6, 1 * 16 + 2 * 4 + 3]
+
+    def test_short_sequence_empty(self):
+        assert kmer_codes("AC", 3).size == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmer_codes("ACGT", 0)
+
+    @given(st.text(alphabet="ACGT", min_size=5, max_size=50))
+    def test_codes_in_range(self, seq):
+        codes = kmer_codes(seq, 5)
+        assert ((codes >= 0) & (codes < 4**5)).all()
+
+
+class TestMinimizers:
+    def test_deterministic(self):
+        seq = simulate_genome(500, seed=1)
+        assert minimizers(seq, 15, 10) == minimizers(seq, 15, 10)
+
+    def test_positions_valid(self):
+        seq = simulate_genome(300, seed=2)
+        for code, pos in minimizers(seq, 15, 10):
+            assert 0 <= pos <= len(seq) - 15
+            assert 0 <= code < 4**15
+
+    def test_density_reasonable(self):
+        """Expected minimizer density is ~2/(w+1)."""
+        seq = simulate_genome(5000, seed=3)
+        count = len(minimizers(seq, 15, 10))
+        density = count / len(seq)
+        assert 0.1 < density < 0.35
+
+    def test_short_sequence(self):
+        assert minimizers("ACGT", k=15, w=10) == []
+
+
+class TestMapper:
+    @pytest.fixture(scope="class")
+    def truth(self):
+        genome = simulate_genome(8000, seed=42)
+        return simulate_reads(
+            genome,
+            n_reads=60,
+            mean_length=600,
+            seed=7,
+            reverse_strand_fraction=0.3,
+        )
+
+    @pytest.fixture(scope="class")
+    def mapper(self, truth):
+        return MinimizerMapper(truth.genome, k=13, w=5)
+
+    def test_recovers_most_reads(self, truth, mapper):
+        mapped = mapper.map_reads(truth.records)
+        assert len(mapped) >= 0.95 * len(truth.records)
+
+    def test_positions_close_to_truth(self, truth, mapper):
+        by_name = {r.record.name: r for r in truth.reads}
+        for paf in mapper.map_reads(truth.records):
+            read = by_name[paf.query_name]
+            assert abs(paf.target_start - read.genome_start) < 150
+            assert abs(paf.target_end - read.genome_end) < 150
+
+    def test_strand_detection(self, truth, mapper):
+        by_name = {r.record.name: r for r in truth.reads}
+        hits = mapper.map_reads(truth.records)
+        correct = sum(1 for p in hits if p.strand == by_name[p.query_name].strand)
+        assert correct >= 0.95 * len(hits)
+
+    def test_unrelated_read_unmapped(self, mapper):
+        foreign = SeqRecord(name="alien", sequence=simulate_genome(500, seed=999))
+        assert mapper.map_read(foreign) is None
+
+    def test_paf_intervals_valid(self, truth, mapper):
+        for paf in mapper.map_reads(truth.records):
+            assert 0 <= paf.target_start < paf.target_end <= paf.target_length
+
+
+class TestIndex:
+    def test_build_and_seed_lookup(self):
+        genome = simulate_genome(1000, seed=5)
+        index = MinimizerIndex.build(SeqRecord(name="g", sequence=genome), k=13, w=5)
+        # a verbatim fragment must produce seeds on the right diagonal
+        fragment = genome[200:400]
+        seeds = index.seeds(fragment)
+        assert seeds
+        diagonals = [tpos - qpos for qpos, tpos in seeds]
+        assert any(abs(d - 200) < 5 for d in diagonals)

@@ -1,0 +1,125 @@
+"""Racon quality handling: the -q filter and quality-weighted fusion."""
+
+import pytest
+
+from repro.tools.racon.consensus import RaconPolisher
+from repro.tools.seqio.paf import PafRecord
+from repro.tools.seqio.records import SeqRecord
+
+
+def perfect_mapping(read: SeqRecord, backbone: SeqRecord) -> PafRecord:
+    return PafRecord(
+        query_name=read.name,
+        query_length=len(read),
+        query_start=0,
+        query_end=len(read),
+        strand="+",
+        target_name=backbone.name,
+        target_length=len(backbone),
+        target_start=0,
+        target_end=len(backbone),
+        residue_matches=len(read),
+        alignment_block_length=len(read),
+    )
+
+
+BACKBONE = SeqRecord(name="b", sequence="ACGTACGTACGTACGTACGT")
+
+
+def read_with_quality(name: str, sequence: str, phred: int) -> SeqRecord:
+    return SeqRecord(name=name, sequence=sequence, quality=chr(33 + phred) * len(sequence))
+
+
+class TestQualityFilter:
+    def test_low_quality_fragments_dropped(self):
+        polisher = RaconPolisher(window_length=20, quality_threshold=10.0)
+        good = read_with_quality("good", BACKBONE.sequence, 30)
+        bad = read_with_quality("bad", BACKBONE.sequence, 5)
+        windows, dropped = polisher.build_windows(
+            BACKBONE, [good, bad],
+            [perfect_mapping(good, BACKBONE), perfect_mapping(bad, BACKBONE)],
+        )
+        assert len(windows[0].fragments) == 1
+        assert dropped == 1
+
+    def test_filter_disabled_by_default(self):
+        polisher = RaconPolisher(window_length=20)
+        bad = read_with_quality("bad", BACKBONE.sequence, 5)
+        windows, dropped = polisher.build_windows(
+            BACKBONE, [bad], [perfect_mapping(bad, BACKBONE)]
+        )
+        assert len(windows[0].fragments) == 1 and dropped == 0
+
+    def test_quality_less_reads_pass_filter(self):
+        """FASTA inputs (no quality) must not be filtered out."""
+        polisher = RaconPolisher(window_length=20, quality_threshold=10.0)
+        fasta_read = SeqRecord(name="r", sequence=BACKBONE.sequence)
+        windows, dropped = polisher.build_windows(
+            BACKBONE, [fasta_read], [perfect_mapping(fasta_read, BACKBONE)]
+        )
+        assert len(windows[0].fragments) == 1 and dropped == 0
+
+
+class TestQualityWeighting:
+    def test_weights_scale_with_quality(self):
+        polisher = RaconPolisher(window_length=20, weight_by_quality=True)
+        reads = [
+            read_with_quality("q10", BACKBONE.sequence, 10),
+            read_with_quality("q25", BACKBONE.sequence, 25),
+            read_with_quality("q40", BACKBONE.sequence, 40),
+        ]
+        windows, _ = polisher.build_windows(
+            BACKBONE, reads, [perfect_mapping(r, BACKBONE) for r in reads]
+        )
+        assert windows[0].weights == [1, 2, 4]
+
+    def test_weights_default_to_one(self):
+        polisher = RaconPolisher(window_length=20)
+        read = read_with_quality("q40", BACKBONE.sequence, 40)
+        windows, _ = polisher.build_windows(
+            BACKBONE, [read], [perfect_mapping(read, BACKBONE)]
+        )
+        assert windows[0].weights == [1]
+
+    def test_high_quality_read_outvotes_noisy_majority(self):
+        """Two noisy Q7 reads vote for a substitution; one Q40 read votes
+        for the truth.  Weighted fusion lets the confident read win; the
+        unweighted polisher follows the majority."""
+        truth = BACKBONE.sequence
+        variant = "ACGTACGTATGTACGTACGT"  # C->T at position 9
+        noisy = [read_with_quality(f"n{i}", variant, 7) for i in range(2)]
+        confident = read_with_quality("conf", truth, 40)
+        reads = noisy + [confident]
+        mappings = [perfect_mapping(r, BACKBONE) for r in reads]
+        backbone_neutral = SeqRecord(name="b", sequence=truth)
+
+        weighted = RaconPolisher(window_length=20, weight_by_quality=True).polish(
+            backbone_neutral, reads, mappings
+        )
+        assert weighted.polished.sequence == truth
+
+    def test_reverse_strand_quality_clipped_consistently(self):
+        from repro.tools.seqio.records import reverse_complement
+
+        polisher = RaconPolisher(window_length=20, weight_by_quality=True)
+        read = SeqRecord(
+            name="rev",
+            sequence=reverse_complement(BACKBONE.sequence),
+            quality="I" * len(BACKBONE),
+        )
+        mapping = PafRecord(
+            query_name="rev",
+            query_length=len(read),
+            query_start=0,
+            query_end=len(read),
+            strand="-",
+            target_name="b",
+            target_length=len(BACKBONE),
+            target_start=0,
+            target_end=len(BACKBONE),
+            residue_matches=len(read),
+            alignment_block_length=len(read),
+        )
+        windows, _ = polisher.build_windows(BACKBONE, [read], [mapping])
+        assert windows[0].fragments == [BACKBONE.sequence]
+        assert windows[0].weights == [4]  # Q40

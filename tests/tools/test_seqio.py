@@ -1,0 +1,166 @@
+"""FASTA/FASTQ/PAF parsing and records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tools.seqio import (
+    PafRecord,
+    SeqRecord,
+    SignalRead,
+    parse_fasta,
+    parse_fastq,
+    parse_paf,
+    write_fasta,
+    write_fastq,
+    write_paf,
+)
+from repro.tools.seqio.fastq import mean_quality
+from repro.tools.seqio.records import reverse_complement
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestSeqRecord:
+    def test_length_and_gc(self):
+        record = SeqRecord(name="r", sequence="GGCCAT")
+        assert len(record) == 6
+        assert record.gc_content == pytest.approx(4 / 6)
+
+    def test_empty_gc_zero(self):
+        assert SeqRecord(name="r", sequence="").gc_content == 0.0
+
+    def test_quality_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SeqRecord(name="r", sequence="ACGT", quality="II")
+
+    def test_reverse_complement(self):
+        record = SeqRecord(name="r", sequence="AACGT", quality="ABCDE")
+        rc = record.reverse_complement()
+        assert rc.sequence == "ACGTT"
+        assert rc.quality == "EDCBA"
+
+    def test_subsequence(self):
+        record = SeqRecord(name="r", sequence="ACGTACGT")
+        sub = record.subsequence(2, 5)
+        assert sub.sequence == "GTA"
+        assert "2-5" in sub.name
+
+    @given(dna)
+    def test_reverse_complement_involution(self, seq):
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        records = [
+            SeqRecord(name="a", sequence="ACGT" * 30, description="first"),
+            SeqRecord(name="b", sequence="GG"),
+        ]
+        parsed = parse_fasta(write_fasta(records))
+        assert [(r.name, r.sequence, r.description) for r in parsed] == [
+            ("a", "ACGT" * 30, "first"),
+            ("b", "GG", ""),
+        ]
+
+    def test_multiline_sequences_joined(self):
+        assert parse_fasta(">x\nACG\nT\n")[0].sequence == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fasta("ACGT\n>x\n")
+
+    def test_line_wrapping(self):
+        text = write_fasta([SeqRecord(name="a", sequence="A" * 100)], line_width=60)
+        lengths = [len(l) for l in text.splitlines()[1:]]
+        assert lengths == [60, 40]
+
+    @given(st.lists(st.tuples(st.text(alphabet="abc", min_size=1, max_size=5), dna), max_size=5))
+    def test_roundtrip_property(self, pairs):
+        records = [SeqRecord(name=f"{n}_{i}", sequence=s) for i, (n, s) in enumerate(pairs)]
+        parsed = parse_fasta(write_fasta(records))
+        assert [(r.name, r.sequence) for r in parsed] == [
+            (r.name, r.sequence) for r in records
+        ]
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        records = [SeqRecord(name="a", sequence="ACGT", quality="IIII")]
+        parsed = parse_fastq(write_fastq(records))
+        assert parsed[0].quality == "IIII"
+
+    def test_missing_quality_filled(self):
+        text = write_fastq([SeqRecord(name="a", sequence="ACG")])
+        assert parse_fastq(text)[0].quality == "III"
+
+    def test_bad_record_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fastq("@a\nACGT\n+\n")
+
+    def test_bad_separators_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fastq("a\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError):
+            parse_fastq("@a\nACGT\nX\nIIII\n")
+
+    def test_mean_quality(self):
+        record = SeqRecord(name="a", sequence="AC", quality="!I")  # Q0, Q40
+        assert mean_quality(record) == pytest.approx(20.0)
+        assert mean_quality(SeqRecord(name="b", sequence="AC")) == 0.0
+
+
+class TestPaf:
+    def make(self, **kwargs):
+        defaults = dict(
+            query_name="q",
+            query_length=100,
+            query_start=0,
+            query_end=100,
+            strand="+",
+            target_name="t",
+            target_length=1000,
+            target_start=50,
+            target_end=150,
+            residue_matches=90,
+            alignment_block_length=100,
+        )
+        defaults.update(kwargs)
+        return PafRecord(**defaults)
+
+    def test_roundtrip(self):
+        records = [self.make(), self.make(query_name="q2", strand="-")]
+        parsed = parse_paf(write_paf(records))
+        assert parsed == records
+
+    def test_derived_fields(self):
+        record = self.make()
+        assert record.target_span == 100
+        assert record.identity_estimate == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(strand="x")
+        with pytest.raises(ValueError):
+            self.make(query_start=50, query_end=10)
+        with pytest.raises(ValueError):
+            self.make(target_end=2000)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_paf("q\t1\t0\t1\n")
+
+
+class TestSignalRead:
+    def test_basic(self):
+        read = SignalRead(read_id="r", signal=np.zeros(4000), sample_rate_hz=4000.0)
+        assert len(read) == 4000
+        assert read.duration_seconds == pytest.approx(1.0)
+
+    def test_dtype_normalised(self):
+        read = SignalRead(read_id="r", signal=[1, 2, 3])
+        assert read.signal.dtype == np.float32
+
+    def test_multidim_rejected(self):
+        with pytest.raises(ValueError):
+            SignalRead(read_id="r", signal=np.zeros((2, 2)))
