@@ -7,7 +7,6 @@ up front (Challenge II's user-agnostic fallback, extended to memory).
 This ablation measures both paths on a burst of mixed-footprint jobs.
 """
 
-import pytest
 
 from repro.core import build_deployment
 from repro.core.admission import GpuMemoryAdmissionController

@@ -8,7 +8,6 @@ compares (a) how many jobs end up spread across multiple devices and
 (b) the peak memory imbalance between devices.
 """
 
-import pytest
 
 from repro.gpusim.smi import process_placement
 

@@ -10,7 +10,6 @@ best times differ by only ~3 %.
 """
 
 import numpy as np
-import pytest
 
 from repro.tools.racon.alignment import banded_alignment, global_alignment
 from repro.tools.racon.consensus import RaconPolisher

@@ -8,7 +8,6 @@ calls) grows linearly, and kernel occupancy (blocks per launch) drops
 as batches shrink.
 """
 
-import pytest
 
 from repro.gpusim.host import make_k80_host
 from repro.gpusim.kernels import KernelTimingModel

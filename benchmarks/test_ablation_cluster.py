@@ -7,7 +7,6 @@ jobs lands on a 2-GPU-node + 1-CPU-node cluster under each policy, and
 the resulting node spread and per-node GPU process counts are compared.
 """
 
-import pytest
 
 from repro.cluster.multinode import build_cluster
 

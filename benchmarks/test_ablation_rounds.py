@@ -8,7 +8,6 @@ before the consensus/alignment layer moved to local (soft-clipping)
 sequence-to-graph alignment with an edge-penalised consensus walk.
 """
 
-import pytest
 
 from repro.tools.racon.alignment import identity
 from repro.tools.racon.consensus import RaconPolisher

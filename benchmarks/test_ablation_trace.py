@@ -16,7 +16,6 @@ run ~k times longer), the first-order cost §IV-C2's "stalling due to
 context switching" describes.
 """
 
-import pytest
 
 from repro.core import build_deployment
 from repro.tools.executors import register_paper_tools

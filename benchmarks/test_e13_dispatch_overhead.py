@@ -12,10 +12,7 @@ Two measurements:
   microseconds-scale, negligible against any tool runtime.
 """
 
-import pytest
 
-from repro.core import build_deployment
-from repro.tools.executors import register_paper_tools
 
 
 def test_e13_dispatch_overhead(benchmark, report, fresh_deployment):

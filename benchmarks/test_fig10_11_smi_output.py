@@ -6,7 +6,6 @@ Case 3's process table: six racon_gpu rows at 60 MiB each, three per
 GPU, with the third/fourth instances appearing on both devices.
 """
 
-import pytest
 
 from repro.gpusim.smi import render_table
 

@@ -7,7 +7,6 @@ than 50x".  Each bar is measured by running the Bonito tool through the
 GYAN stack on GPU and CPU deployments.
 """
 
-import pytest
 
 DATASETS = ("Acinetobacter_pittii", "Klebsiella_pneumoniae_KSB2")
 

@@ -6,7 +6,6 @@ Multiplication (GEMM) functions, which are a critical part of neural
 networks."
 """
 
-import pytest
 
 from repro.gpusim.profiler import CudaProfiler
 

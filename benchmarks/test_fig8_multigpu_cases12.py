@@ -10,7 +10,6 @@ scheduled to the idle GPU 0.
 import pytest
 
 from repro.gpusim.smi import process_placement
-from repro.tools.executors import register_paper_tools
 
 
 def overlapped_launch(deployment, tool_id, **params):

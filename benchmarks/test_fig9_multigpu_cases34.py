@@ -8,7 +8,6 @@ footprint); a second Bonito goes to the GPU with minimum used memory —
 GPU 0 with its 60 MiB — rather than being spread across all devices.
 """
 
-import pytest
 
 from repro.gpusim.smi import process_placement
 

@@ -14,7 +14,6 @@ Run:  python examples/containerized_tools.py
 """
 
 from repro import build_deployment, register_paper_tools
-from repro.containers.errors import InvalidBindOptionError
 from repro.galaxy.runners.docker import DockerJobRunner
 from repro.galaxy.runners.singularity import SingularityJobRunner
 from repro.core.container_gpu import singularity_nv_provider

@@ -12,7 +12,7 @@ Run:  python examples/workflow_pipeline.py
 """
 
 from repro import build_deployment, register_paper_tools
-from repro.galaxy.workflow import FromStep, WorkflowDefinition, WorkflowRunner
+from repro.galaxy.workflow import WorkflowDefinition, WorkflowRunner
 from repro.tools.bonito.signal import PoreModel, SquiggleSimulator
 from repro.tools.mapping import MinimizerMapper
 from repro.tools.racon.alignment import identity

@@ -1,0 +1,55 @@
+"""gyan-lint + simsan: static analysis and runtime sanitizing for GYAN.
+
+GYAN's contribution is declarative plumbing — compute requirements in
+tool wrappers, destinations and dynamic rules in ``job_conf.xml``,
+container GPU flags — and in production every misdeclaration surfaces
+only at job-launch time as a silent CPU fallback or a failed container.
+This package catches those mistakes *before* anything runs:
+
+``findings`` / ``rules``
+    The :class:`~repro.analysis.findings.Finding` model with ordered
+    severities, and the rule catalogue (``GYAN1xx`` config, ``SRC2xx``
+    source, ``SIM3xx`` sanitizer).
+``config_rules``
+    Static analysis of tool wrapper XML and ``job_conf.xml`` against a
+    simulated host description.
+``source_rules``
+    AST passes enforcing virtual-clock discipline and the NVML
+    initialisation lifecycle on the repro sources themselves.
+``sanitizer``
+    simsan — the opt-in runtime invariant checker (leaks, double frees,
+    utilization bounds, clock monotonicity), enabled via
+    ``GYAN_SIMSAN=1`` and on for the whole test suite.
+``linter``
+    Path walking, suppressions, text/JSON rendering and exit codes —
+    what ``python -m repro lint`` calls.
+"""
+
+from repro.analysis.findings import Finding, Severity, worst_severity
+from repro.analysis.linter import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    LintOptions,
+    LintReport,
+    lint_paths,
+)
+from repro.analysis.rules import REGISTRY, LintRule, RuleRegistry
+from repro.analysis.sanitizer import SanitizerError, SimSanitizer
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "worst_severity",
+    "LintRule",
+    "RuleRegistry",
+    "REGISTRY",
+    "LintOptions",
+    "LintReport",
+    "lint_paths",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "SimSanitizer",
+    "SanitizerError",
+]

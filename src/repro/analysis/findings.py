@@ -1,0 +1,93 @@
+"""The finding model shared by every gyan-lint analyzer family.
+
+A *finding* is one diagnosed problem: which rule fired, how severe it
+is, where it was found, and what to do about it.  Severities are totally
+ordered so a ``--fail-on`` threshold is a single comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Severity of a finding, ordered for threshold comparisons."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse a severity from its lowercase CLI spelling."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``GYAN1xx`` config, ``SRC2xx`` source,
+        ``SIM3xx`` sanitizer) — what suppression comments name.
+    severity:
+        How bad it is; the linter's exit code derives from the worst
+        finding relative to ``--fail-on``.
+    message:
+        Human-readable one-liner describing the specific instance.
+    path:
+        File the finding is anchored to (may be ``None`` for findings
+        synthesised outside a file, e.g. cross-file checks).
+    line:
+        1-indexed line for source findings; XML findings usually have
+        none (ElementTree drops positions).
+    suggestion:
+        Optional remediation hint.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    path: str | None = None
+    line: int | None = None
+    suggestion: str | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "suggestion": self.suggestion,
+        }
+
+    def format_text(self) -> str:
+        """The one-line text rendering (``--format text``)."""
+        location = self.path or "<project>"
+        if self.line is not None:
+            location = f"{location}:{self.line}"
+        text = f"{location}: {self.severity}: {self.rule_id}: {self.message}"
+        if self.suggestion:
+            text += f" (hint: {self.suggestion})"
+        return text
+
+
+def worst_severity(findings: list[Finding]) -> Severity | None:
+    """The highest severity present, or ``None`` for a clean run."""
+    if not findings:
+        return None
+    return max(f.severity for f in findings)

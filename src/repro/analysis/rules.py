@@ -1,0 +1,194 @@
+"""The gyan-lint rule registry.
+
+Every rule a linter family can fire is declared here with a stable ID,
+a default severity, and catalogue text — the single source of truth the
+CLI's ``--list-rules``, the docs, and the analyzers share.  Analyzers
+construct findings through :meth:`LintRule.finding` so the registry's
+severity and IDs cannot drift from what is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, default severity, catalogue text."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    family: str  # 'config' | 'source' | 'sanitizer'
+    description: str
+
+    def finding(
+        self,
+        message: str,
+        path: str | None = None,
+        line: int | None = None,
+        suggestion: str | None = None,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding attributed to this rule."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            path=path,
+            line=line,
+            suggestion=suggestion,
+        )
+
+
+class RuleRegistry:
+    """Rules by ID, with family views for the analyzers and docs."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, LintRule] = {}
+
+    def register(self, rule: LintRule) -> LintRule:
+        if rule.rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> LintRule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown lint rule {rule_id!r}") from None
+
+    def all_rules(self) -> list[LintRule]:
+        return sorted(self._rules.values(), key=lambda r: r.rule_id)
+
+    def family(self, family: str) -> list[LintRule]:
+        return [r for r in self.all_rules() if r.family == family]
+
+    def known_ids(self) -> set[str]:
+        return set(self._rules)
+
+
+#: The default registry every analyzer registers into at import time.
+REGISTRY = RuleRegistry()
+
+
+def _rule(rule_id: str, title: str, severity: Severity, family: str, description: str) -> LintRule:
+    return REGISTRY.register(
+        LintRule(
+            rule_id=rule_id,
+            title=title,
+            severity=severity,
+            family=family,
+            description=description,
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
+# config analysis (GYAN1xx)
+# --------------------------------------------------------------------- #
+GYAN100 = _rule(
+    "GYAN100", "config file does not parse", Severity.ERROR, "config",
+    "The XML is not well-formed, or the repro parsers reject it outright "
+    "(missing ids, unknown destinations, duplicate compute requirements).",
+)
+GYAN101 = _rule(
+    "GYAN101", "malformed GPU minor ID", Severity.ERROR, "config",
+    "A compute requirement's version attribute must be a comma-separated "
+    "list of non-negative integer GPU minor IDs; anything else would make "
+    "the mapper silently fall back to CPU at job-launch time.",
+)
+GYAN102 = _rule(
+    "GYAN102", "GPU minor ID out of range", Severity.ERROR, "config",
+    "A requested minor ID does not exist on the configured host (default: "
+    "the paper's 2-die K80 testbed, IDs 0 and 1; override with --devices).",
+)
+GYAN103 = _rule(
+    "GYAN103", "container tool on non-container destination", Severity.WARNING, "config",
+    "The tool declares a <container> but every static destination it can "
+    "map to has neither docker_enabled nor singularity_enabled, so the "
+    "container reference is dead configuration.",
+)
+GYAN104 = _rule(
+    "GYAN104", "unregistered dynamic rule function", Severity.ERROR, "config",
+    "A dynamic destination names a rule function that is not in the GYAN "
+    "rule registry; resolution would raise JobConfError at submit time.",
+)
+GYAN105 = _rule(
+    "GYAN105", "dynamic destination without function", Severity.ERROR, "config",
+    "A destination with runner=\"dynamic\" has no <param id=\"function\">, "
+    "so it can never resolve.",
+)
+GYAN106 = _rule(
+    "GYAN106", "resubmit target unknown", Severity.ERROR, "config",
+    "A destination's resubmit_destination names a destination id that is "
+    "not defined in the same job_conf.",
+)
+GYAN107 = _rule(
+    "GYAN107", "resubmit chain cycles", Severity.ERROR, "config",
+    "Following resubmit_destination params from a destination returns to "
+    "a destination already visited: a failed job would resubmit forever.",
+)
+GYAN108 = _rule(
+    "GYAN108", "declared GPU memory oversubscribes framebuffer", Severity.WARNING, "config",
+    "The gpu_memory_mib params declared across destinations exceed the "
+    "simulated K80 framebuffer; concurrent jobs would OOM even though "
+    "each destination looks fine in isolation.",
+)
+GYAN109 = _rule(
+    "GYAN109", "no default destination", Severity.WARNING, "config",
+    "The <destinations> section declares no default; any tool without an "
+    "explicit <tools> mapping fails at submit time.",
+)
+
+# --------------------------------------------------------------------- #
+# source analysis (SRC2xx)
+# --------------------------------------------------------------------- #
+SRC200 = _rule(
+    "SRC200", "Python file does not parse", Severity.ERROR, "source",
+    "The file has a syntax error; no other source rule can run on it.",
+)
+SRC201 = _rule(
+    "SRC201", "wall clock inside virtual-clock code", Severity.ERROR, "source",
+    "gpusim/ and core/ must run entirely on the VirtualClock; time.time, "
+    "time.sleep, datetime.now and friends make simulations nondeterministic.",
+)
+SRC202 = _rule(
+    "SRC202", "NVML device call before nvmlInit", Severity.ERROR, "source",
+    "A device or system query on an NVML handle constructed in the same "
+    "scope appears lexically before its nvmlInit() call; the real pynvml "
+    "raises NVML_ERROR_UNINITIALIZED here.",
+)
+
+# --------------------------------------------------------------------- #
+# runtime sanitizer (SIM3xx) — documented here, fired by simsan
+# --------------------------------------------------------------------- #
+SIM301 = _rule(
+    "SIM301", "framebuffer leak at process exit", Severity.ERROR, "sanitizer",
+    "A terminated process still owns device memory on some device — an "
+    "allocation made on a device the process never attached to cannot be "
+    "reclaimed by the driver's per-process cleanup.",
+)
+SIM302 = _rule(
+    "SIM302", "double free of a device allocation", Severity.ERROR, "sanitizer",
+    "An Allocation was freed twice (or freed on an allocator that never "
+    "issued it).",
+)
+SIM303 = _rule(
+    "SIM303", "device utilization out of range", Severity.ERROR, "sanitizer",
+    "A device reported SM or memory-controller utilization outside "
+    "[0, 100] — a timing-model accounting bug.",
+)
+SIM304 = _rule(
+    "SIM304", "virtual clock moved backwards", Severity.ERROR, "sanitizer",
+    "The clock's now decreased between observations, which breaks every "
+    "duration computed from it.",
+)
+SIM305 = _rule(
+    "SIM305", "framebuffer accounting violated", Severity.ERROR, "sanitizer",
+    "used + free != capacity (or used exceeds capacity) on a device "
+    "memory allocator.",
+)

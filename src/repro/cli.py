@@ -15,6 +15,10 @@ Commands
 ``experiment``
     Regenerate one of the paper's headline results (fig3, fig5, e11,
     stalls) as a quick table.
+``lint``
+    gyan-lint: statically analyze tool wrapper XML, ``job_conf.xml``
+    and repro Python sources for GPU misdeclarations (exit 0 clean,
+    1 findings at/above ``--fail-on``, 2 usage error).
 """
 
 from __future__ import annotations
@@ -244,6 +248,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import Severity
+    from repro.analysis.linter import (
+        EXIT_CLEAN,
+        EXIT_USAGE,
+        LintOptions,
+        lint_paths,
+        list_rules_text,
+    )
+
+    if args.list_rules:
+        print(list_rules_text(), end="")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        print("lint: no paths given (try: python -m repro lint examples/ src/)",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    options = LintOptions(
+        device_count=args.devices,
+        fail_on=Severity.from_name(args.fail_on),
+        output_format=args.format,
+    )
+    report = lint_paths(args.paths, options)
+    for error in report.errors:
+        print(f"lint: {error}", file=sys.stderr)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(options.fail_on)
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -304,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
                        default="pid")
     trace.add_argument("--policy", choices=("place", "wait"), default="place")
     trace.set_defaults(func=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze GYAN configs and repro sources"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (.xml configs, .py sources)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="lowest severity that makes the exit code nonzero")
+    lint.add_argument("--devices", type=int, default=2,
+                      help="GPU device count of the target host (default: "
+                           "the paper's 2-die K80 testbed)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -24,7 +24,7 @@ Policies
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.cluster.node import ComputeNode

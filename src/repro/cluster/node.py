@@ -6,7 +6,7 @@ K80 boards — is the default configuration of :func:`ComputeNode.paper_testbed`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpusim.clock import VirtualClock
 from repro.gpusim.host import GPUHost, make_k80_host

@@ -11,7 +11,7 @@ with the container's environment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.containers.errors import GpuRuntimeMissingError

@@ -9,7 +9,7 @@ first run from the steady-state ~0.6 s launch overhead measured in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.containers.errors import ImageNotFoundError
 

@@ -19,7 +19,7 @@ distribution overhead for tools without multi-GPU support (paper Case 4:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.gpu_usage import GpuUsageSnapshot
 

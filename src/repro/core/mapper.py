@@ -17,7 +17,7 @@ returns the environment entries; the runner merges and spawns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.allocation import (
     AllocationDecision,

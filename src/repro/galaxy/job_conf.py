@@ -18,6 +18,18 @@ from repro.galaxy.errors import JobConfError
 #: A dynamic rule receives (job, app) and returns a destination id.
 DynamicRule = Callable[["object", "object"], str]
 
+#: Spellings accepted as "true" for boolean destination params.  Real
+#: Galaxy job_confs are written by hand and ``True``/``1``/``yes`` all
+#: appear in the wild; anything else is false.
+TRUTHY_PARAM_VALUES = frozenset({"true", "1", "yes", "on"})
+
+
+def parse_bool_param(value: str | None, default: bool = False) -> bool:
+    """Normalise a destination boolean param (``docker_enabled`` etc.)."""
+    if value is None:
+        return default
+    return value.strip().lower() in TRUTHY_PARAM_VALUES
+
 
 @dataclass
 class Destination:
@@ -40,7 +52,7 @@ class Destination:
     @property
     def docker_enabled(self) -> bool:
         """Whether this destination launches tools in Docker containers."""
-        return self.params.get("docker_enabled", "false").lower() == "true"
+        return parse_bool_param(self.params.get("docker_enabled"))
 
     @property
     def resubmit_destination(self) -> str | None:
@@ -55,7 +67,7 @@ class Destination:
     @property
     def singularity_enabled(self) -> bool:
         """Whether this destination launches tools in Singularity."""
-        return self.params.get("singularity_enabled", "false").lower() == "true"
+        return parse_bool_param(self.params.get("singularity_enabled"))
 
 
 class DynamicRuleRegistry:

@@ -11,7 +11,7 @@ body and tears down.  ``queue_job`` is the everyday launch-then-finish.
 from __future__ import annotations
 
 import shlex
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Protocol
 
 from repro.galaxy.app import (

@@ -31,6 +31,36 @@ GPU_REQUIREMENT_NAME = "gpu"
 CPU_REQUIREMENT_NAME = "cpu"
 
 
+def parse_gpu_minor_ids(version: str) -> list[int]:
+    """Parse the comma-separated GPU minor IDs of a compute requirement.
+
+    The ``version`` attribute of ``<requirement type="compute">gpu``
+    overloads as the requested minor ID list ("0", "1", "0,1").  Each
+    non-empty entry must be a non-negative integer; anything else raises
+    :class:`ToolParseError` — catching the misdeclaration at parse time
+    instead of letting the mapper silently fall back to CPU later.
+    """
+    minor_ids: list[int] = []
+    for part in version.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            minor = int(part)
+        except ValueError:
+            raise ToolParseError(
+                "compute requirement version must list integer GPU minor "
+                f"IDs, got {part!r} in {version!r}"
+            ) from None
+        if minor < 0:
+            raise ToolParseError(
+                f"compute requirement GPU minor ID must be >= 0, got {minor} "
+                f"in {version!r}"
+            )
+        minor_ids.append(minor)
+    return minor_ids
+
+
 @dataclass(frozen=True)
 class ToolRequirement:
     """One ``<requirement>`` entry.
@@ -308,6 +338,8 @@ def parse_tool_xml(
                 raise ToolParseError(
                     f"compute requirement must be 'gpu' or 'cpu', got {req.name!r}"
                 )
+            if req.name == GPU_REQUIREMENT_NAME and req.version:
+                parse_gpu_minor_ids(req.version)
 
     command_node = root.find("command")
     if command_node is not None and command_node.text:

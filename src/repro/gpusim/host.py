@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.gpusim.clock import Timeline, VirtualClock
 from repro.gpusim.device import GPUArchitecture, GPUDevice, TESLA_GK210, TESLA_K80_BOARD
 from repro.gpusim.errors import InvalidDeviceError, ProcessError
-from repro.gpusim.process import GPUProcess, PidAllocator, ProcessType
+from repro.gpusim.process import PidAllocator
 
 
 def parse_cuda_visible_devices(value: str | None, device_count: int) -> list[int]:

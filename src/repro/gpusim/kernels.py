@@ -19,7 +19,7 @@ scheduled on that clock observes utilisation *during* kernels.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpusim.device import GPUDevice
 from repro.gpusim.host import GPUHost

@@ -25,7 +25,7 @@ Semantics implemented:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpusim.kernels import (
     KERNEL_LAUNCH_OVERHEAD_S,

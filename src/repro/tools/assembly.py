@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.tools.mapping import MinimizerIndex, minimizers
-from repro.tools.seqio.records import SeqRecord, reverse_complement
+from repro.tools.seqio.records import SeqRecord
 
 
 @dataclass(frozen=True)

@@ -43,11 +43,7 @@ from repro.tools.bonito.perf_model import GPU_PHASE_FRACTIONS, BonitoPerfModel
 from repro.tools.bonito.signal import PoreModel
 from repro.tools.racon.consensus import RaconPolisher
 from repro.tools.racon.cuda import CudaPOABatcher
-from repro.tools.racon.perf_model import (
-    GPU_ALLOC_S,
-    GPU_CPU_TAIL_S,
-    RaconPerfModel,
-)
+from repro.tools.racon.perf_model import GPU_CPU_TAIL_S, RaconPerfModel
 from repro.workloads.datasets import ALZHEIMERS_NFL, PAPER_DATASETS, DatasetDescriptor
 
 GIB = 1024**3

@@ -1,0 +1,191 @@
+"""End-to-end linter runs: exit codes, JSON output, suppressions, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.linter import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    LintOptions,
+    lint_paths,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(paths, **kwargs):
+    report = lint_paths([str(p) for p in paths], LintOptions(**kwargs))
+    return report
+
+
+class TestLintPaths:
+    def test_good_fixtures_are_clean(self):
+        report = _run([FIXTURES / "good"])
+        assert report.findings == []
+        assert report.files_checked == 2
+        assert report.exit_code(Severity.ERROR) == EXIT_CLEAN
+
+    def test_bad_fixtures_fail(self):
+        report = _run([FIXTURES / "bad"])
+        assert report.exit_code(Severity.ERROR) == EXIT_FINDINGS
+        fired = {f.rule_id for f in report.findings}
+        # Every config rule has a seeded fixture that trips it.
+        assert {
+            "GYAN100", "GYAN101", "GYAN102", "GYAN103", "GYAN104",
+            "GYAN105", "GYAN106", "GYAN107", "GYAN108", "GYAN109",
+        } <= fired
+
+    def test_shipped_examples_are_clean(self):
+        report = _run([REPO_ROOT / "examples"])
+        assert report.findings == []
+        assert report.exit_code(Severity.WARNING) == EXIT_CLEAN
+
+    def test_repo_sources_are_clean(self):
+        report = _run([REPO_ROOT / "src"])
+        assert report.findings == []
+
+    def test_missing_path_is_usage_error(self):
+        report = _run(["no/such/path"])
+        assert report.errors
+        assert report.exit_code(Severity.ERROR) == EXIT_USAGE
+
+    def test_fail_on_threshold(self):
+        # GYAN103 is a warning: visible at --fail-on warning, ignored at
+        # the default error threshold.
+        paths = [FIXTURES / "bad" / "racon.xml", FIXTURES / "bad" / "job_conf.xml"]
+        report = _run(paths)
+        warnings = [f for f in report.findings if f.severity == Severity.WARNING]
+        assert any(f.rule_id == "GYAN103" for f in warnings)
+        errors = [f for f in report.findings if f.severity >= Severity.ERROR]
+        assert report.exit_code(Severity.WARNING) == EXIT_FINDINGS
+        if not errors:
+            assert report.exit_code(Severity.ERROR) == EXIT_CLEAN
+
+    def test_device_count_widens_range_check(self):
+        path = FIXTURES / "bad" / "out_of_range.xml"
+        assert _run([path]).exit_code(Severity.ERROR) == EXIT_FINDINGS
+        assert _run([path], device_count=16).findings == []
+
+    def test_findings_are_sorted_and_deduped(self):
+        report = _run([FIXTURES / "bad", FIXTURES / "bad"])  # same dir twice
+        keys = [(f.path, f.line or 0, f.rule_id) for f in report.findings]
+        assert keys == sorted(keys)
+        # Passing the directory twice must not double-count files.
+        assert report.files_checked == len(set(keys)) or report.files_checked <= 5
+
+
+class TestSuppressions:
+    def test_xml_file_wide_suppression(self, tmp_path):
+        bad = (FIXTURES / "bad" / "out_of_range.xml").read_text()
+        suppressed = bad.replace(
+            "<tool ", "<!-- gyan-lint: disable=GYAN102 -->\n<tool ", 1
+        )
+        target = tmp_path / "tool.xml"
+        target.write_text(suppressed)
+        assert _run([target]).findings == []
+
+    def test_python_line_suppression(self, tmp_path):
+        target = tmp_path / "gpusim" / "wall.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import time\n"
+            "time.sleep(1)  # gyan-lint: disable=SRC201\n"
+            "time.time()\n"
+        )
+        report = _run([target])
+        assert [f.rule_id for f in report.findings] == ["SRC201"]
+        assert report.findings[0].line == 3
+
+    def test_python_file_wide_suppression(self, tmp_path):
+        target = tmp_path / "core" / "wall.py"
+        target.parent.mkdir()
+        target.write_text(
+            "# gyan-lint: disable-file=SRC201\n"
+            "import time\n"
+            "time.time()\n"
+            "time.sleep(1)\n"
+        )
+        assert _run([target]).findings == []
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_structured(self):
+        report = _run([FIXTURES / "bad"])
+        payload = json.loads(report.render_json())
+        assert payload["files_checked"] == report.files_checked
+        assert len(payload["findings"]) == len(report.findings)
+        first = payload["findings"][0]
+        assert {"rule_id", "severity", "message", "path"} <= set(first)
+
+    def test_clean_run_renders_empty_findings(self):
+        payload = json.loads(_run([FIXTURES / "good"]).render_json())
+        assert payload["findings"] == []
+
+
+class TestCli:
+    def test_lint_good_exits_clean(self, capsys):
+        code = main(["lint", str(FIXTURES / "good")])
+        assert code == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_bad_exits_findings(self, capsys):
+        code = main(["lint", str(FIXTURES / "bad")])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "GYAN107" in out
+
+    def test_lint_json_flag(self, capsys):
+        code = main(["lint", "--format", "json", str(FIXTURES / "bad")])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+
+    def test_fail_on_warning_flag(self, capsys):
+        code = main([
+            "lint", "--fail-on", "warning",
+            str(FIXTURES / "bad" / "racon.xml"),
+            str(FIXTURES / "bad" / "job_conf.xml"),
+        ])
+        assert code == EXIT_FINDINGS
+        assert "GYAN103" in capsys.readouterr().out
+
+    def test_devices_flag(self, capsys):
+        code = main([
+            "lint", "--devices", "16", str(FIXTURES / "bad" / "out_of_range.xml")
+        ])
+        capsys.readouterr()
+        assert code == EXIT_CLEAN
+
+    def test_no_paths_is_usage_error(self, capsys):
+        code = main(["lint"])
+        assert code == EXIT_USAGE
+        assert "path" in capsys.readouterr().err.lower()
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code = main(["lint", "does/not/exist"])
+        capsys.readouterr()
+        assert code == EXIT_USAGE
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("GYAN100", "SRC201", "SIM301"):
+            assert rule_id in out
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("error", Severity.ERROR),
+    ("warning", Severity.WARNING),
+    ("info", Severity.INFO),
+])
+def test_severity_from_name(name, expected):
+    assert Severity.from_name(name) is expected

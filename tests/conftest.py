@@ -1,15 +1,44 @@
-"""Shared fixtures: hosts, deployments, miniature datasets."""
+"""Shared fixtures: hosts, deployments, miniature datasets.
+
+The whole suite runs under the simsan runtime sanitizer
+(:mod:`repro.analysis.sanitizer`): every GPU-memory mutation, process
+exit and clock advance in every test is invariant-checked, so an
+accounting bug anywhere fails loudly at the point of corruption.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.analysis import sanitizer as simsan
 from repro.core import build_deployment
 from repro.gpusim.host import make_k80_host
 from repro.tools.bonito.signal import PoreModel, SquiggleSimulator
 from repro.tools.executors import register_paper_tools
 from repro.tools.mapping import MinimizerMapper
 from repro.workloads.generator import corrupted_backbone, simulate_read_set
+
+os.environ.setdefault(simsan.SIMSAN_ENV_VAR, "1")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _simsan_session():
+    """Install simsan for the whole test session (env-gated)."""
+    installed = simsan.install_from_env()
+    yield
+    if installed is not None:
+        simsan.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _simsan_fresh_violations():
+    """Start every test with an empty violation log."""
+    active = simsan.current()
+    if active is not None:
+        active.drain()
+    yield
 
 
 @pytest.fixture

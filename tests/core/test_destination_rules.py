@@ -1,6 +1,5 @@
 """Dynamic destination rules (paper §IV-A, Challenge II)."""
 
-import pytest
 
 from repro.cluster.node import ComputeNode
 from repro.core import build_deployment

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.energy import EnergyMeter, power_watts
-from repro.gpusim.profiler import CudaProfiler
 
 
 class TestPowerModel:

@@ -1,6 +1,5 @@
 """get_gpu_usage (paper Pseudocode 1) against live host state."""
 
-import pytest
 
 from repro.core.gpu_usage import get_gpu_usage, get_gpu_usage_snapshot
 

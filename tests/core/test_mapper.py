@@ -1,6 +1,5 @@
 """GpuComputationMapper — the paper's Pseudocode 2 logic."""
 
-import pytest
 
 from repro.core.allocation import MemoryAllocationStrategy
 from repro.core.mapper import GpuComputationMapper

@@ -1,6 +1,5 @@
 """build_param_dict — the GYAN bridge into the wrapper namespace."""
 
-import pytest
 
 from repro.galaxy.job import GalaxyJob
 from repro.galaxy.params import (

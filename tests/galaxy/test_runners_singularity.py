@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.containers.errors import InvalidBindOptionError
 from repro.galaxy.job import JobState
 from repro.galaxy.runners.singularity import SingularityJobRunner
 

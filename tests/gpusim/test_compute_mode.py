@@ -3,7 +3,6 @@
 import pytest
 
 from repro.gpusim.device import ComputeMode, ComputeModeError
-from repro.gpusim.host import make_k80_host
 
 
 class TestComputeModes:
@@ -40,7 +39,6 @@ class TestComputeModes:
         GPUs) only works because the K80s ran in Default compute mode;
         under Exclusive_Process the same placement fails."""
         from repro.core import build_deployment
-        from repro.galaxy.job import JobState
         from repro.tools.executors import register_paper_tools
 
         deployment = build_deployment()

@@ -2,7 +2,6 @@
 
 import xml.etree.ElementTree as ET
 
-import pytest
 
 from repro.gpusim.smi import (
     SmiSoup,

@@ -1,11 +1,7 @@
 """Failure injection across the stack: every error path exercised."""
 
-import pytest
-
-from repro.containers.errors import GpuRuntimeMissingError, ImageNotFoundError
 from repro.core import build_deployment
 from repro.galaxy.job import JobState
-from repro.gpusim.errors import DeviceOutOfMemoryError
 from repro.tools.executors import register_paper_tools
 
 

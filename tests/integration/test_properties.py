@@ -1,6 +1,5 @@
 """Cross-cutting property tests over generated host states and workloads."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.gpu_usage import get_gpu_usage, get_gpu_usage_snapshot

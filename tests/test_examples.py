@@ -7,7 +7,6 @@ and executed (stdout captured by pytest).
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.tools.bonito.basecaller import Basecaller
 from repro.tools.bonito.commands import (
     PRETRAINED_MODELS,
     bonito_convert,

@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.tools.bonito.model import Conv1dLayer, TemplateScorer, im2col, softmax
-from repro.tools.bonito.signal import PoreModel
 
 
 class TestIm2col:

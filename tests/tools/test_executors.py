@@ -4,7 +4,6 @@ import pytest
 
 from repro.gpusim.profiler import CudaProfiler
 from repro.galaxy.job import JobState
-from repro.tools.mapping import MinimizerMapper
 
 
 class TestRaconUnitMode:

@@ -1,7 +1,7 @@
 """Minimizer mapper accuracy against ground truth."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.tools.mapping import MinimizerIndex, MinimizerMapper, kmer_codes, minimizers
 from repro.tools.seqio.records import SeqRecord

@@ -1,6 +1,5 @@
 """Racon quality handling: the -q filter and quality-weighted fusion."""
 
-import pytest
 
 from repro.tools.racon.consensus import RaconPolisher
 from repro.tools.seqio.paf import PafRecord
