@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from repro.analysis import rules as R
 from repro.analysis.findings import Finding
 from repro.galaxy.errors import JobConfError, ToolParseError
-from repro.galaxy.job_conf import DynamicRuleRegistry, JobConfig, parse_job_conf_xml
+from repro.galaxy.job_conf import (
+    DynamicRuleRegistry,
+    JobConfig,
+    parse_bool_param,
+    parse_job_conf_xml,
+)
 from repro.galaxy.tool_xml import ToolDefinition, parse_tool_xml
 from repro.gpusim.device import TESLA_GK210
 
@@ -102,6 +107,21 @@ def analyze_job_conf_text(
                     path,
                 )
             )
+        elif resubmit is not None:
+            target = config.destinations[resubmit]
+            override = target.params.get("gpu_enabled_override")
+            if override is not None and parse_bool_param(override):
+                findings.append(
+                    R.GYAN110.finding(
+                        f"destination {dest.destination_id!r} resubmits to "
+                        f"{resubmit!r}, which pins gpu_enabled_override="
+                        f"{override!r}: a job recovering from a GPU failure "
+                        "would be forced straight back onto a GPU",
+                        path,
+                        suggestion=f"set gpu_enabled_override=false on {resubmit!r} "
+                        "(or drop the param so the mapper decides)",
+                    )
+                )
 
     findings.extend(_resubmit_cycles(config, path))
     findings.extend(_memory_oversubscription(config, path, ctx))

@@ -143,6 +143,13 @@ GYAN109 = _rule(
     "The <destinations> section declares no default; any tool without an "
     "explicit <tools> mapping fails at submit time.",
 )
+GYAN110 = _rule(
+    "GYAN110", "resubmit destination still requires a GPU", Severity.ERROR, "config",
+    "A destination's resubmit_destination points at a destination that "
+    "pins gpu_enabled_override to true: a job resubmitted after a GPU "
+    "failure would be forced straight back onto a GPU, defeating the "
+    "degrade-to-CPU recovery arm.",
+)
 
 # --------------------------------------------------------------------- #
 # source analysis (SRC2xx)
@@ -191,4 +198,10 @@ SIM305 = _rule(
     "SIM305", "framebuffer accounting violated", Severity.ERROR, "sanitizer",
     "used + free != capacity (or used exceeds capacity) on a device "
     "memory allocator.",
+)
+SIM306 = _rule(
+    "SIM306", "lost device holds live processes", Severity.ERROR, "sanitizer",
+    "A device marked unhealthy (fallen off the bus / quarantined) still "
+    "reports live compute processes — mark_failed must kill every context "
+    "on the device, exactly as XID 79 does on real hardware.",
 )

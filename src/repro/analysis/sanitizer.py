@@ -12,7 +12,9 @@ the corruption surface later as a wrong experiment number:
 * **SIM302** — an allocation freed twice;
 * **SIM303** — SM or memory-controller utilization outside [0, 100];
 * **SIM304** — the virtual clock observed moving backwards;
-* **SIM305** — ``used + free != capacity`` on an allocator.
+* **SIM305** — ``used + free != capacity`` on an allocator;
+* **SIM306** — a lost/unhealthy device still hosts live compute
+  processes (``mark_failed`` must kill every context, like XID 79).
 
 Enablement is environment-driven so the whole test suite can run under
 the sanitizer without touching production code paths::
@@ -92,7 +94,7 @@ class SimSanitizer:
             )
 
     def check_device(self, device: GPUDevice) -> None:
-        """SIM303 + SIM305 for one device."""
+        """SIM303 + SIM305 + SIM306 for one device."""
         for label, value in (
             ("sm_utilization", device.sm_utilization),
             ("mem_utilization", device.mem_utilization),
@@ -102,6 +104,15 @@ class SimSanitizer:
                     R.SIM303,
                     f"GPU {device.minor_number}: {label} = {value!r} "
                     "outside [0, 100]",
+                )
+        if not device.healthy:
+            survivors = device.process_pids()
+            if survivors:
+                self._report(
+                    R.SIM306,
+                    f"GPU {device.minor_number} is lost but still hosts "
+                    f"live processes (pids {survivors}); mark_failed must "
+                    "kill every context",
                 )
         self.check_allocator(device.memory)
 

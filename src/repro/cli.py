@@ -19,6 +19,10 @@ Commands
     gyan-lint: statically analyze tool wrapper XML, ``job_conf.xml``
     and repro Python sources for GPU misdeclarations (exit 0 clean,
     1 findings at/above ``--fail-on``, 2 usage error).
+``faults``
+    Run a named chaos scenario (or a JSON injection plan) against a
+    deployment and report job survival (exit 0 iff every job reached
+    OK).
 """
 
 from __future__ import annotations
@@ -282,6 +286,50 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(options.fail_on)
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.workloads.chaos import resolve_plan, run_chaos
+
+    try:
+        plan = resolve_plan(scenario=args.scenario, plan_file=args.plan,
+                            seed=args.seed)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"faults: {exc}", file=sys.stderr)
+        return 2
+
+    resilient = not args.no_resilience
+    mode = "resilient" if resilient else "stock (no resilience)"
+    print(f"plan: {plan.name} (seed {plan.seed}, {len(plan.events)} events), "
+          f"mode: {mode}")
+    for event in plan.events:
+        target = f" device {event.device}" if event.device is not None else ""
+        print(f"  t={event.time:>8.3f}s  {event.kind.value}{target}"
+              f"{'  ' + event.note if event.note else ''}")
+
+    result = run_chaos(plan, jobs=args.jobs, resilient=resilient)
+
+    print()
+    for job in result.jobs:
+        chain = (f"  resubmitted via {list(job.resubmit_chain)}"
+                 if job.resubmit_chain else "")
+        print(f"  {job.tool:<8} {job.state:<6} -> {job.destination}{chain}")
+    if result.crashed is not None:
+        print(f"  mapping crashed: {result.crashed}")
+        print(f"  ({result.jobs_requested - len(result.jobs)} job(s) never "
+              "submitted)")
+
+    print()
+    print(f"faults fired:        {result.faults_fired}")
+    print(f"nvml errors served:  {result.nvml_errors_served}")
+    print(f"container failures:  {result.container_failures_served}")
+    print(f"launch requeues:     {result.launch_requeues}")
+    print(f"degraded queries:    {result.degraded_queries}")
+    if result.quarantine_events:
+        events = ", ".join(f"GPU {d}:{k}" for d, k in result.quarantine_events)
+        print(f"quarantine events:   {events}")
+    print(f"survived:            {result.survived}/{result.jobs_requested}")
+    return 0 if result.all_ok else 1
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -359,11 +407,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule catalogue and exit")
     lint.set_defaults(func=cmd_lint)
 
+    faults = sub.add_parser(
+        "faults", help="run a chaos scenario and report job survival"
+    )
+    faults.add_argument("--scenario", default="k80-die-midrun",
+                        help="named scenario (see repro.gpusim.faults.SCENARIOS)")
+    faults.add_argument("--plan", default=None,
+                        help="JSON injection plan file (overrides --scenario)")
+    faults.add_argument("--jobs", type=int, default=8,
+                        help="how many alternating Racon/Bonito jobs to run")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (plans are (name, seed)-determined)")
+    faults.add_argument("--no-resilience", action="store_true",
+                        help="run the stock, fragile deployment for comparison")
+    faults.set_defaults(func=cmd_faults)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.analysis import sanitizer as simsan
+
+    simsan.install_from_env()  # honour GYAN_SIMSAN=1 for every command
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -19,6 +19,7 @@ available offline, so this package simulates the parts that matter:
 from repro.containers.image import ContainerImage, ImageRegistry, RACON_GPU_IMAGE, BONITO_IMAGE
 from repro.containers.errors import (
     ContainerError,
+    ContainerLaunchError,
     ImageNotFoundError,
     GpuRuntimeMissingError,
     InvalidBindOptionError,
@@ -33,6 +34,7 @@ __all__ = [
     "RACON_GPU_IMAGE",
     "BONITO_IMAGE",
     "ContainerError",
+    "ContainerLaunchError",
     "ImageNotFoundError",
     "GpuRuntimeMissingError",
     "InvalidBindOptionError",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
-from repro.containers.errors import GpuRuntimeMissingError
+from repro.containers.errors import ContainerLaunchError, GpuRuntimeMissingError
 from repro.containers.image import ContainerImage, ImageRegistry
 from repro.containers.volumes import VolumeMount
 from repro.gpusim.clock import VirtualClock
@@ -72,6 +72,9 @@ class DockerRuntime:
         self.clock = clock
         self.nvidia_docker_installed = nvidia_docker_installed
         self.run_log: list[DockerRunResult] = []
+        #: Optional :class:`~repro.gpusim.faults.FaultPlane` whose pending
+        #: container failures this daemon serves (one per ``run``).
+        self.fault_plane = None
 
     # ------------------------------------------------------------------ #
     def build_run_command(
@@ -121,7 +124,13 @@ class DockerRuntime:
             Unknown image reference.
         GpuRuntimeMissingError
             ``gpus`` requested without NVIDIA-Docker installed.
+        ContainerLaunchError
+            An injected transient daemon failure (chaos testing).
         """
+        if self.fault_plane is not None:
+            injected = self.fault_plane.take_container_failure()
+            if injected is not None:
+                raise ContainerLaunchError(injected)
         if gpus is not None and not self.nvidia_docker_installed:
             raise GpuRuntimeMissingError()
         image, pull = self.registry.pull(image_reference)

@@ -30,6 +30,20 @@ class GpuRuntimeMissingError(ContainerError):
         )
 
 
+class ContainerLaunchError(ContainerError):
+    """A *transient* daemon-side launch failure.
+
+    Real Docker/Singularity daemons occasionally drop a launch under
+    load ("Error response from daemon" with a retryable cause); unlike
+    :class:`ImageNotFoundError` or :class:`GpuRuntimeMissingError` the
+    same command typically succeeds on retry, so runners treat this as
+    retryable under their backoff policy.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
 class InvalidBindOptionError(ContainerError):
     """Singularity >= 3.1 rejected a bind mount option.
 

@@ -78,6 +78,9 @@ class SingularityRuntime:
         self.clock = clock
         self.version = version
         self.run_log: list[SingularityRunResult] = []
+        #: Optional :class:`~repro.gpusim.faults.FaultPlane` whose pending
+        #: container failures this launcher serves (one per ``run``).
+        self.fault_plane = None
 
     # ------------------------------------------------------------------ #
     def build_exec_command(
@@ -127,6 +130,12 @@ class SingularityRuntime:
             Unknown image reference.
         """
         volumes = volumes or []
+        if self.fault_plane is not None:
+            injected = self.fault_plane.take_container_failure()
+            if injected is not None:
+                from repro.containers.errors import ContainerLaunchError
+
+                raise ContainerLaunchError(injected)
         if nv and include_bind_modes and volumes and self.version.rejects_bind_modes_with_nv:
             raise InvalidBindOptionError(volumes[0].mode)
         image, pull = self.registry.pull(image_reference)

@@ -22,6 +22,10 @@ challenges (§III-A / §IV):
     ``CUDA_VISIBLE_DEVICES``.
 ``monitor``
     The per-second GPU hardware usage script of §V-C.
+``health`` / ``retry``
+    The degradation layer: device quarantine after repeated errors and
+    bounded exponential backoff on the virtual clock, used by the mapper
+    and runners to outlive injected GPU faults.
 ``orchestrator``
     A façade wiring a complete GYAN-enabled Galaxy deployment in one
     call — the public entry point examples and benchmarks use.
@@ -38,7 +42,20 @@ from repro.core.mapper import GpuComputationMapper
 from repro.core.destination_rules import gpu_destination_rule, register_gyan_rules
 from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
 from repro.core.monitor import GPUUsageMonitor, UsageSample, UsageStatistics
-from repro.core.orchestrator import GyanDeployment, build_deployment
+from repro.core.health import DeviceHealthTracker, HealthEvent
+from repro.core.retry import (
+    BackoffPolicy,
+    DEFAULT_LAUNCH_RETRY,
+    DEFAULT_NVML_RETRY,
+    is_transient_nvml_error,
+    retry_call,
+)
+from repro.core.orchestrator import (
+    GYAN_JOB_CONF_XML,
+    GYAN_RESILIENT_JOB_CONF_XML,
+    GyanDeployment,
+    build_deployment,
+)
 
 __all__ = [
     "get_gpu_usage",
@@ -55,6 +72,15 @@ __all__ = [
     "GPUUsageMonitor",
     "UsageSample",
     "UsageStatistics",
+    "DeviceHealthTracker",
+    "HealthEvent",
+    "BackoffPolicy",
+    "DEFAULT_LAUNCH_RETRY",
+    "DEFAULT_NVML_RETRY",
+    "is_transient_nvml_error",
+    "retry_call",
+    "GYAN_JOB_CONF_XML",
+    "GYAN_RESILIENT_JOB_CONF_XML",
     "GyanDeployment",
     "build_deployment",
 ]

@@ -10,10 +10,12 @@ cluster has no free GPU.
 
 from __future__ import annotations
 
+from repro.core.retry import retry_call
 from repro.galaxy.app import GalaxyApp
 from repro.galaxy.job import GalaxyJob
 from repro.galaxy.job_conf import DynamicRuleRegistry
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR
+from repro.gpusim.errors import NVMLError
 from repro.gpusim.nvml import NvmlLibrary
 
 #: Destination ids the rule resolves to; job_conf.xml must define them.
@@ -21,6 +23,39 @@ LOCAL_GPU_DESTINATION = "local_gpu"
 LOCAL_CPU_DESTINATION = "local_cpu"
 DOCKER_GPU_DESTINATION = "docker_gpu"
 DOCKER_CPU_DESTINATION = "docker_cpu"
+
+
+def _available_gpu_count(app: GalaxyApp) -> int:
+    """The rule's ``pynvml`` probe, resilience-aware.
+
+    With ``app.nvml_retry`` set, transient NVML errors retry under the
+    policy (virtual-clock backoff); if the budget is exhausted — or the
+    app has a health tracker, marking it as resilient — the rule degrades
+    to "no GPU available" and the job takes the CPU arm.  Without either,
+    the error propagates: the stock rule crashes the mapping, which is
+    exactly the fragility the chaos comparison demonstrates.
+
+    Quarantined devices do not count as available.
+    """
+    nvml = NvmlLibrary(app.gpu_host)
+    nvml.nvmlInit()
+    retry = getattr(app, "nvml_retry", None)
+    tracker = getattr(app, "health_tracker", None)
+    try:
+        if retry is not None:
+            count = retry_call(app.node.clock, retry, nvml.nvmlDeviceGetCount)
+        else:
+            count = nvml.nvmlDeviceGetCount()
+    except NVMLError as exc:
+        if exc.transient and (retry is not None or tracker is not None):
+            return 0
+        raise
+    if tracker is not None:
+        now = app.node.clock.now
+        count = sum(
+            1 for i in range(count) if not tracker.is_quarantined(str(i), now)
+        )
+    return count
 
 
 def gpu_destination_rule(job: GalaxyJob, app: GalaxyApp) -> str:
@@ -35,9 +70,7 @@ def gpu_destination_rule(job: GalaxyJob, app: GalaxyApp) -> str:
     """
     gpu_available = False
     if job.tool.requires_gpu and app.gpu_host is not None:
-        nvml = NvmlLibrary(app.gpu_host)
-        nvml.nvmlInit()
-        gpu_available = nvml.nvmlDeviceGetCount() > 0
+        gpu_available = _available_gpu_count(app) > 0
     app.environment[GPU_ENABLED_ENV_VAR] = "true" if gpu_available else "false"
     return LOCAL_GPU_DESTINATION if gpu_available else LOCAL_CPU_DESTINATION
 
@@ -46,9 +79,7 @@ def docker_destination_rule(job: GalaxyJob, app: GalaxyApp) -> str:
     """Containerised variant: ``docker_gpu`` vs ``docker_cpu``."""
     gpu_available = False
     if job.tool.requires_gpu and app.gpu_host is not None:
-        nvml = NvmlLibrary(app.gpu_host)
-        nvml.nvmlInit()
-        gpu_available = nvml.nvmlDeviceGetCount() > 0
+        gpu_available = _available_gpu_count(app) > 0
     app.environment[GPU_ENABLED_ENV_VAR] = "true" if gpu_available else "false"
     return DOCKER_GPU_DESTINATION if gpu_available else DOCKER_CPU_DESTINATION
 

@@ -25,6 +25,8 @@ from repro.core.allocation import (
     PidAllocationStrategy,
 )
 from repro.core.gpu_usage import get_gpu_usage_snapshot
+from repro.core.health import DeviceHealthTracker
+from repro.core.retry import BackoffPolicy, is_transient_nvml_error, retry_call
 from repro.galaxy.job import GalaxyJob
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR
 from repro.gpusim.host import GPUHost
@@ -53,6 +55,18 @@ class GpuComputationMapper:
     strategy:
         Device allocation strategy; the paper's default is the Process-ID
         approach, with Process-Allocated-Memory as the refinement.
+    health:
+        Optional :class:`~repro.core.health.DeviceHealthTracker`.  When
+        set, quarantined devices are filtered from every snapshot before
+        the strategy sees it, and NVML-attributed failures feed back in.
+    retry:
+        Optional :class:`~repro.core.retry.BackoffPolicy` wrapped around
+        the NVML / ``nvidia-smi`` queries.  When either ``health`` or
+        ``retry`` is set the mapper is *resilient*: an observability
+        failure that survives the retry budget degrades the job to the
+        CPU arm instead of propagating.  Without them, the error
+        propagates — the pre-resilience behaviour, preserved so chaos
+        runs can demonstrate the difference.
     """
 
     def __init__(
@@ -60,22 +74,45 @@ class GpuComputationMapper:
         host: GPUHost | None,
         strategy: AllocationStrategy | None = None,
         admission=None,
+        health: DeviceHealthTracker | None = None,
+        retry: BackoffPolicy | None = None,
     ) -> None:
         self.host = host
         self.strategy = strategy or PidAllocationStrategy()
         #: Optional :class:`~repro.core.admission.GpuMemoryAdmissionController`.
         self.admission = admission
+        self.health = health
+        self.retry = retry
         self.history: list[MappingRecord] = []
+        #: NVML failures the resilient mapper absorbed (diagnostics).
+        self.degraded_queries: int = 0
         self._nvml = NvmlLibrary(host) if host is not None else None
         if self._nvml is not None:
             self._nvml.nvmlInit()
 
+    @property
+    def resilient(self) -> bool:
+        """Whether observability failures degrade to CPU instead of raising."""
+        return self.health is not None or self.retry is not None
+
     # ------------------------------------------------------------------ #
+    def _query(self, fn):
+        """Run one observability query under the configured retry policy."""
+        if self.retry is None or self.host is None:
+            return fn()
+        return retry_call(self.host.clock, self.retry, fn)
+
     def gpu_count(self) -> int:
         """Device count via NVML — the paper's availability probe."""
         if self._nvml is None:
             return 0
-        return self._nvml.nvmlDeviceGetCount()
+        try:
+            return self._query(self._nvml.nvmlDeviceGetCount)
+        except Exception as exc:
+            if self.resilient and is_transient_nvml_error(exc):
+                self.degraded_queries += 1
+                return 0  # treat an unobservable host as GPU-less: CPU arm
+            raise
 
     def prepare_environment(self, job: GalaxyJob) -> dict[str, str]:
         """Pseudocode 2: env entries for a job about to be spawned.
@@ -94,7 +131,29 @@ class GpuComputationMapper:
         decision: AllocationDecision | None = None
         if gpu_enabled:
             assert self.host is not None
-            snapshot = get_gpu_usage_snapshot(self.host)
+            try:
+                snapshot = self._query(lambda: get_gpu_usage_snapshot(self.host))
+            except Exception as exc:
+                if not (self.resilient and is_transient_nvml_error(exc)):
+                    raise
+                # Observability is down but jobs must keep flowing:
+                # degrade this job to the CPU arm.
+                self.degraded_queries += 1
+                env[GPU_ENABLED_ENV_VAR] = "false"
+                self.history.append(
+                    MappingRecord(
+                        job_id=job.job_id,
+                        tool_id=tool.tool_id,
+                        requested_ids=gpu_id_to_query,
+                        decision=None,
+                        gpu_enabled=False,
+                    )
+                )
+                return env
+            if self.health is not None:
+                snapshot = self.health.filter_snapshot(
+                    snapshot, now=self.host.clock.now
+                )
             decision = self.strategy.select(gpu_id_to_query, snapshot)
             if not decision.is_empty and self.admission is not None:
                 admission = self.admission.check(job, decision, snapshot)

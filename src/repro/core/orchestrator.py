@@ -18,8 +18,14 @@ from repro.containers.singularity import SingularityRuntime, SingularityVersion
 from repro.core.allocation import AllocationStrategy, strategy_by_name
 from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
 from repro.core.destination_rules import register_gyan_rules
+from repro.core.health import DeviceHealthTracker
 from repro.core.mapper import GpuComputationMapper
 from repro.core.monitor import GPUUsageMonitor
+from repro.core.retry import (
+    BackoffPolicy,
+    DEFAULT_LAUNCH_RETRY,
+    DEFAULT_NVML_RETRY,
+)
 from repro.galaxy.app import GalaxyApp
 from repro.galaxy.job import GalaxyJob
 from repro.galaxy.job_conf import JobConfig, parse_job_conf_xml
@@ -27,6 +33,7 @@ from repro.galaxy.runners.docker import DockerJobRunner
 from repro.galaxy.runners.local import LocalRunner
 from repro.galaxy.runners.singularity import SingularityJobRunner
 from repro.gpusim.clock import VirtualClock
+from repro.gpusim.faults import FaultInjector, InjectionPlan
 
 #: The GYAN job configuration — paper Code 2, extended with the concrete
 #: destinations the rules resolve to and the container variants.
@@ -61,6 +68,56 @@ GYAN_JOB_CONF_XML = """\
 </job_conf>
 """
 
+#: The chaos-hardened job configuration: every GPU destination carries a
+#: resubmit arm pointing at a CPU destination that pins the GPU env off
+#: — Galaxy's Total-Perspective-Vortex-style recovery path.  Used by the
+#: resilient deployment and the ``python -m repro faults`` CLI.
+GYAN_RESILIENT_JOB_CONF_XML = """\
+<job_conf>
+    <plugins>
+        <plugin id="local" type="runner" load="galaxy.jobs.runners.local:LocalJobRunner"/>
+        <plugin id="docker" type="runner" load="galaxy.jobs.runners.docker:DockerJobRunner"/>
+        <plugin id="singularity" type="runner" load="galaxy.jobs.runners.singularity:SingularityJobRunner"/>
+    </plugins>
+    <destinations default="dynamic">
+        <destination id="dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">gpu_destination</param>
+        </destination>
+        <destination id="docker_dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">docker_destination</param>
+        </destination>
+        <destination id="local_gpu" runner="local">
+            <param id="resubmit_destination">local_cpu_fallback</param>
+        </destination>
+        <destination id="local_cpu" runner="local"/>
+        <destination id="local_cpu_fallback" runner="local">
+            <param id="gpu_enabled_override">false</param>
+        </destination>
+        <destination id="docker_gpu" runner="docker">
+            <param id="docker_enabled">true</param>
+            <param id="resubmit_destination">docker_cpu_fallback</param>
+        </destination>
+        <destination id="docker_cpu" runner="docker">
+            <param id="docker_enabled">true</param>
+        </destination>
+        <destination id="docker_cpu_fallback" runner="docker">
+            <param id="docker_enabled">true</param>
+            <param id="gpu_enabled_override">false</param>
+        </destination>
+        <destination id="singularity_gpu" runner="singularity">
+            <param id="singularity_enabled">true</param>
+            <param id="resubmit_destination">singularity_cpu_fallback</param>
+        </destination>
+        <destination id="singularity_cpu_fallback" runner="singularity">
+            <param id="singularity_enabled">true</param>
+            <param id="gpu_enabled_override">false</param>
+        </destination>
+    </destinations>
+</job_conf>
+"""
+
 
 @dataclass
 class GyanDeployment:
@@ -77,6 +134,9 @@ class GyanDeployment:
     local_runner: LocalRunner
     docker_runner: DockerJobRunner
     singularity_runner: SingularityJobRunner
+    #: The health tracker quarantining flaky devices (None when the
+    #: deployment was built without resilience).
+    health_tracker: DeviceHealthTracker | None = None
 
     @property
     def gpu_host(self):
@@ -106,6 +166,18 @@ class GyanDeployment:
             strategy = strategy_by_name(strategy)
         self.mapper.strategy = strategy
 
+    def inject(self, plan: InjectionPlan) -> FaultInjector:
+        """Arm an injection plan against this deployment's host.
+
+        Returns the armed injector; its events fire as workload activity
+        advances the virtual clock.
+        """
+        if self.gpu_host is None:
+            raise ValueError("cannot inject faults into a CPU-only deployment")
+        injector = FaultInjector(self.gpu_host, plan)
+        injector.arm()
+        return injector
+
 
 def build_deployment(
     node: ComputeNode | None = None,
@@ -113,7 +185,12 @@ def build_deployment(
     with_monitor: bool = True,
     nvidia_docker_installed: bool = True,
     singularity_version: SingularityVersion = SingularityVersion(3, 1),
-    job_conf_xml: str = GYAN_JOB_CONF_XML,
+    job_conf_xml: str | None = None,
+    resilient: bool = False,
+    health_tracker: DeviceHealthTracker | None = None,
+    nvml_retry: BackoffPolicy | None = None,
+    launch_retry: BackoffPolicy | None = None,
+    max_resubmit_hops: int | None = None,
 ) -> GyanDeployment:
     """Build the paper's deployment on the given (or default testbed) node.
 
@@ -127,14 +204,43 @@ def build_deployment(
         Attach the §V-C hardware usage monitor to every runner.
     nvidia_docker_installed:
         Model a host with/without the NVIDIA container runtime.
+    job_conf_xml:
+        Job configuration XML; defaults to :data:`GYAN_JOB_CONF_XML`, or
+        :data:`GYAN_RESILIENT_JOB_CONF_XML` when ``resilient`` is set.
+    resilient:
+        Wire the degradation layer: a :class:`DeviceHealthTracker` that
+        quarantines flaky devices, bounded NVML-query retries in the
+        mapper, launch-retry requeues in every runner, and the
+        resubmit-enabled job configuration.  Off by default so the stock
+        (fragile) behaviour stays reproducible for chaos comparisons.
+    health_tracker / nvml_retry / launch_retry / max_resubmit_hops:
+        Override the resilient defaults; each implies ``resilient`` for
+        its own layer when passed explicitly.
     """
     node = node or ComputeNode.paper_testbed()
+    if resilient:
+        health_tracker = health_tracker or DeviceHealthTracker()
+        nvml_retry = nvml_retry or DEFAULT_NVML_RETRY
+        launch_retry = launch_retry or DEFAULT_LAUNCH_RETRY
+        if job_conf_xml is None:
+            job_conf_xml = GYAN_RESILIENT_JOB_CONF_XML
+    if job_conf_xml is None:
+        job_conf_xml = GYAN_JOB_CONF_XML
     job_config = parse_job_conf_xml(job_conf_xml)
     register_gyan_rules(job_config.rules)
 
-    app = GalaxyApp(node=node, job_config=job_config)
+    if max_resubmit_hops is None:
+        max_resubmit_hops = GalaxyApp.DEFAULT_MAX_RESUBMIT_HOPS
+    app = GalaxyApp(
+        node=node, job_config=job_config, max_resubmit_hops=max_resubmit_hops
+    )
+    app.health_tracker = health_tracker
+    app.nvml_retry = nvml_retry
     mapper = GpuComputationMapper(
-        host=node.gpu_host, strategy=strategy_by_name(allocation_strategy)
+        host=node.gpu_host,
+        strategy=strategy_by_name(allocation_strategy),
+        health=health_tracker,
+        retry=nvml_retry,
     )
     monitor = (
         GPUUsageMonitor(node.gpu_host)
@@ -151,14 +257,22 @@ def build_deployment(
     singularity_runtime = SingularityRuntime(
         registry=registry, clock=node.clock, version=singularity_version
     )
+    if node.gpu_host is not None:
+        # Container launches consume injected failures from the same
+        # fault plane as NVML / nvidia-smi, so one plan drives all three.
+        docker_runtime.fault_plane = node.gpu_host.faults
+        singularity_runtime.fault_plane = node.gpu_host.faults
 
-    local_runner = LocalRunner(app, gpu_mapper=mapper, usage_monitor=monitor)
+    local_runner = LocalRunner(
+        app, gpu_mapper=mapper, usage_monitor=monitor, launch_retry=launch_retry
+    )
     docker_runner = DockerJobRunner(
         app,
         docker=docker_runtime,
         gpu_mapper=mapper,
         gpu_flag_provider=docker_gpu_flag_provider,
         usage_monitor=monitor,
+        launch_retry=launch_retry,
     )
     singularity_runner = SingularityJobRunner(
         app,
@@ -166,6 +280,7 @@ def build_deployment(
         gpu_mapper=mapper,
         nv_flag_provider=singularity_nv_provider,
         usage_monitor=monitor,
+        launch_retry=launch_retry,
     )
     app.register_runner("local", local_runner)
     app.register_runner("docker", docker_runner)
@@ -199,4 +314,5 @@ def build_deployment(
         local_runner=local_runner,
         docker_runner=docker_runner,
         singularity_runner=singularity_runner,
+        health_tracker=health_tracker,
     )

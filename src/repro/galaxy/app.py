@@ -93,9 +93,30 @@ class GalaxyApp:
         Parsed job configuration (destinations + dynamic rules).
     """
 
-    def __init__(self, node: ComputeNode, job_config: JobConfig) -> None:
+    #: Default runtime cap on resubmission chain length (number of
+    #: *hops*, i.e. resubmissions after the original attempt).  The lint
+    #: rule GYAN107 catches static resubmit cycles, but a dynamic rule
+    #: can still bounce a job between destinations forever — this cap is
+    #: the runtime guard.
+    DEFAULT_MAX_RESUBMIT_HOPS = 3
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        job_config: JobConfig,
+        max_resubmit_hops: int = DEFAULT_MAX_RESUBMIT_HOPS,
+    ) -> None:
+        if max_resubmit_hops < 0:
+            raise ValueError("max_resubmit_hops must be non-negative")
         self.node = node
         self.job_config = job_config
+        self.max_resubmit_hops = max_resubmit_hops
+        #: Optional :class:`~repro.core.health.DeviceHealthTracker` fed
+        #: with device-attributed job failures.
+        self.health_tracker: Any = None
+        #: Optional :class:`~repro.core.retry.BackoffPolicy` the dynamic
+        #: destination rules use around their ``pynvml`` probe.
+        self.nvml_retry: Any = None
         self._toolbox = None
         self.tools: dict[str, ToolDefinition] = {}
         self.executors: dict[str, ToolExecutor] = {}
@@ -198,32 +219,73 @@ class GalaxyApp:
                 f"{destination.runner!r}, which is not registered"
             ) from None
 
+    def _notify_health(self, job: GalaxyJob) -> None:
+        """Feed a device-attributed job failure to the health tracker."""
+        if (
+            self.health_tracker is None
+            or job.state is not JobState.ERROR
+            or not job.metrics.gpu_ids
+            or self.gpu_host is None
+        ):
+            return
+        now = self.node.clock.now
+        for gid in job.metrics.gpu_ids:
+            try:
+                device = self.gpu_host.device(int(gid))
+            except Exception:
+                continue
+            if not device.healthy:
+                self.health_tracker.record_device_lost(
+                    gid, now, note=f"job {job.job_id} died with the device"
+                )
+            else:
+                self.health_tracker.record_error(
+                    gid, now, note=f"job {job.job_id} failed on GPU {gid}"
+                )
+
     def run_job(self, job: GalaxyJob) -> GalaxyJob:
         """Steps 2-4: map, execute, collect.  Synchronous.
 
         When the resolved destination declares a ``resubmit_destination``
         and the job ends in ERROR, a fresh job with the same tool and
         parameters is resubmitted there (Galaxy's ``<resubmit>``
-        semantics — the original failed job remains in the job table,
-        linked via ``resubmitted_as``).  The returned job is the final
-        attempt.
+        semantics — each failed job remains in the job table, linked via
+        ``resubmitted_as``).  Chains are followed hop by hop up to
+        :attr:`max_resubmit_hops`, so a dynamically-cyclic configuration
+        cannot bounce a job forever.  The returned job is the final
+        attempt; every job in a chain carries the full chain in
+        ``metrics.resubmit_chain``.
         """
         destination = self.map_destination(job)
         runner = self.runner_for(destination)
         runner.queue_job(job, destination)
-        resubmit_id = destination.resubmit_destination
-        if job.state is JobState.ERROR and resubmit_id is not None:
-            retry = GalaxyJob(tool=job.tool, params=dict(job.params))
-            retry.metrics.submit_time = self.node.clock.now
-            self.jobs[retry.job_id] = retry
-            job.metrics.breakdown["resubmitted_as"] = retry.job_id
+        self._notify_health(job)
+
+        chain = [job]
+        current, dest = job, destination
+        while (
+            current.state is JobState.ERROR
+            and dest.resubmit_destination is not None
+            and len(chain) - 1 < self.max_resubmit_hops
+        ):
             # The retry bypasses the dynamic rule: the admin pinned the
             # recovery destination (typically one carrying a
             # gpu_enabled_override so the CPU arm runs).
-            target = self.job_config.destination(resubmit_id)
+            target = self.job_config.destination(dest.resubmit_destination)
+            retry = GalaxyJob(tool=current.tool, params=dict(current.params))
+            retry.metrics.submit_time = self.node.clock.now
+            self.jobs[retry.job_id] = retry
+            current.metrics.resubmitted_as = retry.job_id
+            current.metrics.breakdown["resubmitted_as"] = retry.job_id
+            chain.append(retry)
             self.runner_for(target).queue_job(retry, target)
-            return retry
-        return job
+            self._notify_health(retry)
+            current, dest = retry, target
+        if len(chain) > 1:
+            ids = [j.job_id for j in chain]
+            for hop in chain:
+                hop.metrics.resubmit_chain = list(ids)
+        return current
 
     def submit_and_run(
         self, tool_id: str, params: Mapping[str, Any] | None = None

@@ -30,10 +30,17 @@ class JobState(str, enum.Enum):
 
 
 #: Legal state transitions.  DELETED is reachable from any non-terminal
-#: state (user cancellation).
+#: state (user cancellation).  QUEUED -> QUEUED is the *requeue* edge: a
+#: transient launch failure (NVML flake, container daemon hiccup) puts
+#: the job back in the queue for a backed-off retry.
 _TRANSITIONS: dict[JobState, set[JobState]] = {
     JobState.NEW: {JobState.QUEUED, JobState.DELETED},
-    JobState.QUEUED: {JobState.RUNNING, JobState.ERROR, JobState.DELETED},
+    JobState.QUEUED: {
+        JobState.QUEUED,
+        JobState.RUNNING,
+        JobState.ERROR,
+        JobState.DELETED,
+    },
     JobState.RUNNING: {JobState.OK, JobState.ERROR, JobState.DELETED},
     JobState.OK: set(),
     JobState.ERROR: set(),
@@ -61,6 +68,13 @@ class JobMetrics:
     breakdown: dict[str, float] = field(default_factory=dict)
     #: Structured measurements from job metrics plugins, keyed by plugin.
     plugin_metrics: dict[str, dict] = field(default_factory=dict)
+    #: Job id of the immediate resubmission, when this job failed and the
+    #: destination named a resubmit arm.
+    resubmitted_as: int | None = None
+    #: The full resubmission chain this job belongs to, root first — every
+    #: job in the chain carries the same list, so any hop reveals the
+    #: whole history.  Empty for jobs that were never resubmitted.
+    resubmit_chain: list[int] = field(default_factory=list)
 
     @property
     def runtime_seconds(self) -> float | None:

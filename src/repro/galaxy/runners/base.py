@@ -14,6 +14,7 @@ import shlex
 from dataclasses import dataclass
 from typing import Any, Protocol
 
+from repro.containers.errors import ContainerLaunchError
 from repro.galaxy.app import (
     GalaxyApp,
     ToolExecutionContext,
@@ -24,6 +25,23 @@ from repro.galaxy.errors import GalaxyError
 from repro.galaxy.job import GalaxyJob, JobState
 from repro.galaxy.job_conf import Destination
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR, build_param_dict
+from repro.gpusim.errors import NVMLError
+
+
+def is_transient_launch_error(exc: BaseException) -> bool:
+    """Launch failures a backed-off requeue can reasonably outlive.
+
+    Transient NVML codes, ``nvidia-smi`` query failures and container
+    daemon hiccups qualify; tool bugs, OOMs and configuration errors do
+    not.
+    """
+    if isinstance(exc, ContainerLaunchError):
+        return True
+    if isinstance(exc, NVMLError):
+        return exc.transient
+    if isinstance(exc, RuntimeError):
+        return "nvidia-smi failed" in str(exc)
+    return False
 
 
 class GpuMapper(Protocol):
@@ -71,6 +89,14 @@ class BaseJobRunner:
         GYAN's mapper, or ``None`` for stock behaviour.
     usage_monitor:
         Optional §V-C monitor started/stopped around each tool.
+    launch_retry:
+        Optional :class:`~repro.core.retry.BackoffPolicy` (duck-typed:
+        anything with ``max_attempts`` / ``delay_for``).  When set, a
+        transient launch failure requeues the job (the QUEUED -> QUEUED
+        edge) after a virtual-clock backoff instead of failing it; the
+        budget exhausted, the job fails with the last error.  Without a
+        policy the first transient error fails the job immediately —
+        the pre-resilience behaviour.
     """
 
     runner_name = "base"
@@ -80,10 +106,14 @@ class BaseJobRunner:
         app: GalaxyApp,
         gpu_mapper: GpuMapper | None = None,
         usage_monitor: UsageMonitor | None = None,
+        launch_retry: Any = None,
     ) -> None:
         self.app = app
         self.gpu_mapper = gpu_mapper
         self.usage_monitor = usage_monitor
+        self.launch_retry = launch_retry
+        #: Transient launch failures absorbed by requeues (diagnostics).
+        self.requeues: int = 0
 
     # ------------------------------------------------------------------ #
     # environment and command assembly
@@ -235,5 +265,29 @@ class BaseJobRunner:
             launched.cpu_token = None
 
     def queue_job(self, job: GalaxyJob, destination: Destination) -> GalaxyJob:
-        """The synchronous everyday path: launch then finish."""
-        return self.finish(self.launch(job, destination))
+        """The synchronous everyday path: launch then finish.
+
+        Transient launch failures (see :func:`is_transient_launch_error`)
+        are requeued under :attr:`launch_retry`; each requeue is a legal
+        QUEUED -> QUEUED transition and a virtual-clock backoff.  A job
+        that exhausts the budget — or hits a transient error with no
+        policy configured — fails cleanly instead of crashing the app.
+        """
+        attempt = 1
+        while True:
+            try:
+                launched = self.launch(job, destination)
+            except Exception as exc:
+                if not is_transient_launch_error(exc) or job.is_terminal:
+                    raise
+                policy = self.launch_retry
+                if policy is None or attempt >= policy.max_attempts:
+                    job.fail(
+                        f"launch failed: {exc}", self.app.node.clock.now
+                    )
+                    return job
+                self.requeues += 1
+                self.app.node.clock.advance(policy.delay_for(attempt))
+                attempt += 1
+                continue
+            return self.finish(launched)

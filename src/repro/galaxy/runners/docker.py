@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.containers.docker import DockerRuntime
+from repro.containers.errors import ContainerLaunchError
 from repro.containers.volumes import VolumeMount
 from repro.galaxy.app import GalaxyApp, ToolExecutionResult
 from repro.galaxy.errors import GalaxyError
@@ -38,8 +39,14 @@ class DockerJobRunner(BaseJobRunner):
         gpu_mapper: GpuMapper | None = None,
         gpu_flag_provider: GpuFlagProvider | None = None,
         usage_monitor: UsageMonitor | None = None,
+        launch_retry=None,
     ) -> None:
-        super().__init__(app, gpu_mapper=gpu_mapper, usage_monitor=usage_monitor)
+        super().__init__(
+            app,
+            gpu_mapper=gpu_mapper,
+            usage_monitor=usage_monitor,
+            launch_retry=launch_retry,
+        )
         self.docker = docker
         self.gpu_flag_provider = gpu_flag_provider
 
@@ -84,14 +91,28 @@ class DockerJobRunner(BaseJobRunner):
             def payload(container_env: dict[str, str]) -> ToolExecutionResult:
                 return launched.executor(launched.argv, launched.context)
 
-            result = runner.docker.run(
-                image_reference=container.identifier,
-                tool_command=launched.argv,
-                payload=payload,
-                volumes=runner.default_volumes(job),
-                env=launched.context.environment,
-                gpus=gpus,
-            )
+            # Transient daemon failures are retried under the runner's
+            # backoff policy; permanent ones (missing image, missing
+            # NVIDIA runtime) propagate to finish() and fail the job.
+            attempt = 1
+            while True:
+                try:
+                    result = runner.docker.run(
+                        image_reference=container.identifier,
+                        tool_command=launched.argv,
+                        payload=payload,
+                        volumes=runner.default_volumes(job),
+                        env=launched.context.environment,
+                        gpus=gpus,
+                    )
+                    break
+                except ContainerLaunchError:
+                    policy = runner.launch_retry
+                    if policy is None or attempt >= policy.max_attempts:
+                        raise
+                    runner.requeues += 1
+                    runner.app.node.clock.advance(policy.delay_for(attempt))
+                    attempt += 1
             launched.extra_overhead = result.pull_duration + result.launch_overhead
             execution: ToolExecutionResult = result.payload_result
             execution.breakdown.setdefault("container_launch", result.launch_overhead)

@@ -30,10 +30,20 @@ package provides a software model of that observable surface:
 from repro.gpusim.clock import VirtualClock, Timeline, TimelineEvent
 from repro.gpusim.errors import (
     GpuSimError,
+    DeviceLostError,
     DeviceOutOfMemoryError,
     InvalidDeviceError,
     DoubleFreeError,
     NVMLError,
+)
+from repro.gpusim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlane,
+    InjectionPlan,
+    SCENARIOS,
+    build_scenario,
 )
 from repro.gpusim.memory import MemoryAllocator, Allocation
 from repro.gpusim.process import GPUProcess, PidAllocator, ProcessType
@@ -49,10 +59,18 @@ __all__ = [
     "Timeline",
     "TimelineEvent",
     "GpuSimError",
+    "DeviceLostError",
     "DeviceOutOfMemoryError",
     "InvalidDeviceError",
     "DoubleFreeError",
     "NVMLError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlane",
+    "InjectionPlan",
+    "SCENARIOS",
+    "build_scenario",
     "MemoryAllocator",
     "Allocation",
     "GPUProcess",

@@ -151,6 +151,12 @@ class GPUDevice:
         self.healthy: bool = True
         #: Context admission policy (``nvidia-smi -c``).
         self.compute_mode: ComputeMode = ComputeMode.DEFAULT
+        #: Volatile (since-reset) uncorrected ECC error count.
+        self.ecc_errors: int = 0
+        #: XID events the driver logged for this device: ``(time, xid)``.
+        #: XID 79 ("GPU has fallen off the bus") accompanies device loss;
+        #: XID 48 flags double-bit ECC errors.
+        self.xid_events: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------ #
     # process lifecycle
@@ -229,13 +235,21 @@ class GPUDevice:
         """
         return self.healthy and not self.compute_processes()
 
-    def mark_failed(self, now: float = 0.0) -> list[int]:
+    def record_ecc_errors(self, count: int = 1, now: float = 0.0, xid: int = 48) -> None:
+        """Log ``count`` uncorrected ECC errors (and the matching XID)."""
+        if count <= 0:
+            raise ValueError("ECC error count must be positive")
+        self.ecc_errors += count
+        self.xid_events.append((now, xid))
+
+    def mark_failed(self, now: float = 0.0, xid: int = 79) -> list[int]:
         """The device falls off the bus (XID error).
 
         Every attached process loses its context (their CUDA calls would
         return ``cudaErrorDevicesUnavailable``); the driver stops
         enumerating the device.  Returns the PIDs that were killed off
-        the device.
+        the device.  ``xid`` defaults to 79, the driver's "GPU has fallen
+        off the bus" event.
         """
         casualties = [p.pid for p in self.compute_processes()]
         for pid in casualties:
@@ -243,11 +257,17 @@ class GPUDevice:
         self.healthy = False
         self.sm_utilization = 0.0
         self.mem_utilization = 0.0
+        self.xid_events.append((now, xid))
         return casualties
 
     def recover(self) -> None:
-        """Bring the device back (driver reset / node reboot)."""
+        """Bring the device back (driver reset / node reboot).
+
+        A reset clears the volatile ECC counters, as ``nvidia-smi -r``
+        does; the XID event log (the driver's dmesg history) survives.
+        """
         self.healthy = True
+        self.ecc_errors = 0
 
     # ------------------------------------------------------------------ #
     # memory convenience

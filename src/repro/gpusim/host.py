@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.gpusim.clock import Timeline, VirtualClock
 from repro.gpusim.device import GPUArchitecture, GPUDevice, TESLA_GK210, TESLA_K80_BOARD
 from repro.gpusim.errors import InvalidDeviceError, ProcessError
+from repro.gpusim.faults import FaultPlane
 from repro.gpusim.process import PidAllocator
 
 
@@ -111,6 +112,9 @@ class GPUHost:
         ]
         self.pids = PidAllocator(first_pid=first_pid)
         self._processes: dict[int, HostProcess] = {}
+        #: Pending injected transient failures, consumed by the NVML shim,
+        #: ``nvidia-smi`` emulator and container runtimes.
+        self.faults = FaultPlane()
 
     # ------------------------------------------------------------------ #
     # device access

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.gpusim.device import GPUDevice
+from repro.gpusim.errors import DeviceLostError
 from repro.gpusim.host import GPUHost
 from repro.gpusim.memory import Allocation
 from repro.gpusim.profiler import CudaProfiler
@@ -169,8 +170,21 @@ class KernelTimingModel:
     # ------------------------------------------------------------------ #
     # simulated CUDA API
     # ------------------------------------------------------------------ #
+    def _require_device(self, operation: str) -> None:
+        """Every CUDA call on a lost device fails.
+
+        When an XID event kills the device mid-run, ``mark_failed`` has
+        already detached the process and reclaimed its memory — so this
+        check must come *before* any allocator access (including
+        ``cudaFree``), otherwise the tool would double-free memory the
+        driver reclaimed.
+        """
+        if not self.device.healthy:
+            raise DeviceLostError(self.device.minor_number, operation)
+
     def launch(self, kernel: KernelLaunch) -> KernelExecution:
         """Execute ``kernel``: advance the clock, update device telemetry."""
+        self._require_device(f"kernel launch {kernel.name}")
         compute_time, memory_time, occ = self.kernel_times(kernel)
         duration = max(compute_time, memory_time) + KERNEL_LAUNCH_OVERHEAD_S
         start = self.host.clock.now
@@ -205,6 +219,7 @@ class KernelTimingModel:
         """Transfer ``nbytes`` over PCIe; returns the duration."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        self._require_device(f"cudaMemcpy{kind.value}")
         bandwidth = self.device.arch.pcie_effective_gbps * self.pcie_efficiency * 1e9
         duration = PCIE_LATENCY_S + nbytes / bandwidth
         start = self.host.clock.now
@@ -223,6 +238,7 @@ class KernelTimingModel:
 
     def synchronize(self, name: str = "cudaStreamSynchronize") -> float:
         """A synchronisation API call; returns the duration."""
+        self._require_device(name)
         start = self.host.clock.now
         self.host.clock.advance(SYNC_CALL_S)
         if self.profiler is not None:
@@ -237,6 +253,7 @@ class KernelTimingModel:
 
     def malloc(self, nbytes: int, tag: str = "") -> Allocation:
         """``cudaMalloc``: charges device memory and allocation latency."""
+        self._require_device("cudaMalloc")
         duration = MALLOC_BASE_S + MALLOC_PER_GIB_S * (nbytes / GIB)
         start = self.host.clock.now
         allocation = self.device.alloc(nbytes, self.pid, tag=tag)
@@ -265,6 +282,7 @@ class KernelTimingModel:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        self._require_device(name)
         start = self.host.clock.now
         self.host.clock.advance(duration)
         if self.profiler is not None:
@@ -279,6 +297,7 @@ class KernelTimingModel:
 
     def free(self, allocation: Allocation) -> None:
         """``cudaFree``: releases device memory (negligible latency)."""
+        self._require_device("cudaFree")
         self.device.free(allocation)
         if self.profiler is not None:
             self.profiler.record_api(

@@ -74,6 +74,17 @@ class NvmlLibrary:
                 NVMLError.NVML_ERROR_UNINITIALIZED, "library not initialized"
             )
 
+    def _maybe_fault(self) -> None:
+        """Serve one injected transient failure, if the fault plane holds any.
+
+        Exactly one top-level query fails per injected error — that is
+        what makes retry-with-backoff deterministic.  Only the entry
+        points GYAN's control flow calls consume from the plane.
+        """
+        code = self._host.faults.take_nvml_error()
+        if code is not None:
+            raise NVMLError(code, "injected transient failure")
+
     # -- system queries -------------------------------------------------- #
     def nvmlSystemGetDriverVersion(self) -> str:
         """Driver version string, e.g. ``"455.45.01"``."""
@@ -90,6 +101,7 @@ class NvmlLibrary:
     def nvmlDeviceGetCount(self) -> int:
         """Number of devices the driver enumerates (lost devices drop out)."""
         self._require_init()
+        self._maybe_fault()
         return len(self._host.healthy_devices())
 
     def nvmlDeviceGetHandleByIndex(self, index: int) -> NvmlDeviceHandle:
@@ -107,7 +119,16 @@ class NvmlLibrary:
             raise NVMLError(
                 NVMLError.NVML_ERROR_INVALID_ARGUMENT, "handle from another host"
             )
-        return self._host.device(handle.index)
+        device = self._host.device(handle.index)
+        if not device.healthy:
+            # Real NVML refuses every query on a device that fell off the
+            # bus; previously this shim happily served stale telemetry
+            # while nvidia-smi hid the device — the two views now agree.
+            raise NVMLError(
+                NVMLError.NVML_ERROR_GPU_IS_LOST,
+                f"GPU {handle.index} is lost",
+            )
+        return device
 
     def nvmlDeviceGetName(self, handle: NvmlDeviceHandle) -> str:
         """Marketing name of the device (``"Tesla K80"``)."""

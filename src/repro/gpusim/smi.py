@@ -102,7 +102,18 @@ def run_query(host: GPUHost, args: str = "-q -x") -> tuple[str, str]:
 
     Only the query form GYAN uses is supported; anything else returns a
     usage error on stderr with empty stdout, like the real binary.
+
+    ``nvidia-smi`` is itself an NVML client, so an injected transient
+    NVML failure (see :mod:`repro.gpusim.faults`) surfaces here too: the
+    binary exits non-zero with the NVML error on stderr.  One injected
+    error fails exactly one invocation.
     """
+    code = host.faults.take_nvml_error()
+    if code is not None:
+        from repro.gpusim.errors import NVMLError
+
+        reason = NVMLError(code, "injected transient failure")
+        return "", f"Unable to determine the device handle: {reason}\n"
     normalized = " ".join(args.split())
     if normalized in ("-q -x", "--query --xml-format", "-x -q"):
         return render_xml(host), ""

@@ -1,0 +1,185 @@
+"""Chaos runs: a workload driven under an injected fault plan.
+
+One function, :func:`run_chaos`, is shared by the ``python -m repro
+faults`` CLI and the chaos tests: build a deployment (resilient or
+stock), arm an :class:`~repro.gpusim.faults.InjectionPlan`, push a fixed
+alternating Racon/Bonito workload through it, and report per-job
+survival.  The result serialises stably (:meth:`ChaosRunResult.to_json`)
+so two runs of the same seeded plan can be compared byte for byte.
+
+In a *resilient* deployment every layer of the degradation stack is
+armed — NVML retries, launch requeues, device quarantine, multi-hop
+resubmission — and the expectation is that every job still reaches OK.
+In a *stock* deployment the same plan loses jobs: a mid-run device death
+fails the job with nothing to resubmit it, and an NVML flake crashes job
+mapping outright.  The delta between the two runs is the resilience
+layer's contribution, which is the point of the exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.orchestrator import build_deployment
+from repro.gpusim.faults import InjectionPlan, build_scenario
+
+#: The default alternating workload (tool ids cycled over ``jobs``).
+DEFAULT_TOOLS = ("racon", "bonito")
+
+
+@dataclass(frozen=True)
+class ChaosJobResult:
+    """Survival record for one submitted job."""
+
+    tool: str
+    state: str
+    destination: str | None
+    resubmit_chain: tuple[int, ...]
+    error: str | None = None
+
+    @property
+    def survived(self) -> bool:
+        return self.state == "ok"
+
+    def to_dict(self) -> dict:
+        data: dict = {"tool": self.tool, "state": self.state,
+                      "destination": self.destination}
+        if self.resubmit_chain:
+            data["resubmit_chain"] = list(self.resubmit_chain)
+        if self.error:
+            data["error"] = self.error
+        return data
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one chaos run observed, stably serialisable."""
+
+    plan: InjectionPlan
+    resilient: bool
+    jobs: list[ChaosJobResult] = field(default_factory=list)
+    #: Exception message when the *app itself* crashed (stock mode only:
+    #: an unhandled NVML error aborts mapping); jobs after the crash are
+    #: never submitted and count as lost.
+    crashed: str | None = None
+    faults_fired: int = 0
+    nvml_errors_served: int = 0
+    container_failures_served: int = 0
+    launch_requeues: int = 0
+    quarantine_events: list[tuple[str, str]] = field(default_factory=list)
+    degraded_queries: int = 0
+    end_time: float = 0.0
+    jobs_requested: int = 0
+
+    @property
+    def survived(self) -> int:
+        return sum(1 for j in self.jobs if j.survived)
+
+    @property
+    def lost(self) -> int:
+        return self.jobs_requested - self.survived
+
+    @property
+    def all_ok(self) -> bool:
+        return self.crashed is None and self.lost == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "resilient": self.resilient,
+            "jobs_requested": self.jobs_requested,
+            "survived": self.survived,
+            "lost": self.lost,
+            "crashed": self.crashed,
+            "jobs": [j.to_dict() for j in self.jobs],
+            "faults_fired": self.faults_fired,
+            "nvml_errors_served": self.nvml_errors_served,
+            "container_failures_served": self.container_failures_served,
+            "launch_requeues": self.launch_requeues,
+            "quarantine_events": [list(q) for q in self.quarantine_events],
+            "degraded_queries": self.degraded_queries,
+            "end_time": round(self.end_time, 6),
+        }
+
+    def to_json(self) -> str:
+        """Stable serialisation for byte-for-byte reproducibility checks."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def resolve_plan(
+    scenario: str | None = None,
+    plan_file=None,
+    seed: int = 0,
+    device_count: int = 2,
+) -> InjectionPlan:
+    """A plan from a named scenario or a JSON file (file wins)."""
+    if plan_file is not None:
+        return InjectionPlan.from_file(plan_file)
+    return build_scenario(scenario or "k80-die-midrun", seed=seed,
+                          device_count=device_count)
+
+
+def run_chaos(
+    plan: InjectionPlan,
+    jobs: int = 8,
+    resilient: bool = True,
+    tools: tuple[str, ...] = DEFAULT_TOOLS,
+) -> ChaosRunResult:
+    """Drive ``jobs`` tool runs through a deployment under ``plan``.
+
+    Everything is deterministic: the deployment, the plan (seeded), and
+    the workload order, so equal inputs produce identical results.
+    """
+    # Imported here: executors pulls in workloads.datasets, so a module-
+    # level import would cycle through this package's __init__.
+    from repro.tools.executors import register_paper_tools
+
+    deployment = build_deployment(resilient=resilient)
+    register_paper_tools(deployment.app)
+    injector = deployment.inject(plan)
+
+    result = ChaosRunResult(plan=plan, resilient=resilient,
+                            jobs_requested=jobs)
+    finished: list[tuple[str, object]] = []
+    for i in range(jobs):
+        tool = tools[i % len(tools)]
+        try:
+            job = deployment.run_tool(tool, {"workload": "unit"})
+        except Exception as exc:  # stock mode: mapping itself can crash
+            result.crashed = f"{type(exc).__name__}: {exc}"
+            break
+        finished.append((tool, job))
+    # Job ids come from a process-global counter; renumber chains relative
+    # to this run's first job so equal runs serialise byte-for-byte.
+    base = min(deployment.app.jobs, default=1)
+    for tool, job in finished:
+        result.jobs.append(
+            ChaosJobResult(
+                tool=tool,
+                state=job.state.value,
+                destination=job.metrics.destination_id,
+                resubmit_chain=tuple(
+                    jid - base + 1 for jid in job.metrics.resubmit_chain
+                ),
+                error=(job.stderr or None)
+                if job.state.value == "error" else None,
+            )
+        )
+
+    result.faults_fired = len(injector.fired)
+    plane = deployment.gpu_host.faults
+    result.nvml_errors_served = plane.nvml_errors_served
+    result.container_failures_served = plane.container_failures_served
+    result.launch_requeues = sum(
+        runner.requeues for runner in deployment.app.runners.values()
+    )
+    if deployment.health_tracker is not None:
+        result.quarantine_events = [
+            (e.device_id, e.kind)
+            for e in deployment.health_tracker.events
+            if e.kind in ("quarantine", "readmit")
+        ]
+    result.degraded_queries = deployment.mapper.degraded_queries
+    result.end_time = deployment.clock.now
+    return result

@@ -101,6 +101,15 @@ class TestJobConfRules:
             "GYAN109",
             GOOD_JOB_CONF.replace(' default="dynamic"', ""),
         ),
+        (
+            "GYAN110",
+            GOOD_JOB_CONF.replace(
+                '<destination id="local_cpu" runner="local"/>',
+                '<destination id="local_cpu" runner="local">'
+                '<param id="gpu_enabled_override">true</param>'
+                "</destination>",
+            ),
+        ),
     ]
 
     def test_good_job_conf_is_clean(self, ctx):
@@ -124,6 +133,18 @@ class TestJobConfRules:
         )
         _, findings = analyze_job_conf_text(xml, None, ctx)
         assert len([f for f in findings if f.rule_id == "GYAN107"]) == 1
+
+    def test_resubmit_to_override_false_is_clean(self, ctx):
+        # Pinning the override OFF is exactly what a recovery arm should
+        # do; only a truthy pin defeats the CPU arm (GYAN110).
+        xml = GOOD_JOB_CONF.replace(
+            '<destination id="local_cpu" runner="local"/>',
+            '<destination id="local_cpu" runner="local">'
+            '<param id="gpu_enabled_override">false</param>'
+            "</destination>",
+        )
+        _, findings = analyze_job_conf_text(xml, None, ctx)
+        assert "GYAN110" not in _ids(findings)
 
     def test_self_resubmit_is_a_cycle(self, ctx):
         xml = GOOD_JOB_CONF.replace(

@@ -98,6 +98,29 @@ def test_collect_mode_records_instead_of_raising(host):
     host.devices[1].sm_utilization = 0.0
 
 
+def test_lost_device_with_live_process_fails_snapshot(host):
+    """SIM306: a device marked unhealthy must hold no live contexts."""
+    host.launch_process("orphan_tool", cuda_visible_devices="0")
+    # The bug: something flips healthy off without the mark_failed
+    # teardown, so the process survives on a dead device.
+    host.devices[0].healthy = False
+    with pytest.raises(SanitizerError) as excinfo:
+        host.snapshot()
+    assert excinfo.value.finding.rule_id == "SIM306"
+    # Repair so the autouse session sanitizer sees a consistent host.
+    host.devices[0].mark_failed()
+    simsan.current().drain()
+
+
+def test_mark_failed_leaves_no_sim306(host):
+    """The real failure path kills every context, so snapshots stay clean."""
+    proc = host.launch_process("doomed_tool", cuda_visible_devices="1")
+    casualties = host.devices[1].mark_failed(now=1.0, xid=79)
+    assert proc.pid in casualties
+    host.snapshot()  # must not raise
+    assert _rule_ids(simsan.current().drain()) == []
+
+
 def test_install_is_idempotent_and_uninstall_restores():
     first = simsan.install()
     assert simsan.install() is first  # second install is a no-op
