@@ -82,7 +82,7 @@ def test_ablation_admission(benchmark, report):
     oversized_ac = [o for o in with_ac if o["footprint"] > 11_441]
     assert all(not o["gpu"] and o["state"] == JobState.OK.value for o in oversized_ac)
     # Fitting jobs are unaffected by the controller.
-    for a, b in zip(without, with_ac):
+    for a, b in zip(without, with_ac, strict=True):
         if a["footprint"] <= 11_441:
             assert a["gpu"] and b["gpu"]
             assert a["state"] == b["state"] == JobState.OK.value

@@ -38,7 +38,7 @@ def test_ablation_rounds(benchmark, report):
         ["round", "identity vs truth", "length (truth 2000)"],
         [
             [("draft" if i == 0 else i), f"{ident:.4f}", length]
-            for i, (ident, length) in enumerate(zip(identities, lengths))
+            for i, (ident, length) in enumerate(zip(identities, lengths, strict=True))
         ],
     )
 
@@ -46,7 +46,7 @@ def test_ablation_rounds(benchmark, report):
     assert identities[1] > identities[0] + 0.03
     # Convergence: no round regresses materially, and the final identity
     # stays high.
-    for before, after in zip(identities[1:], identities[2:]):
+    for before, after in zip(identities[1:], identities[2:], strict=False):
         assert after >= before - 0.003
     assert identities[-1] >= 0.99
     # No systematic length drift (the pre-fix failure mode grew ~3 %/round).

@@ -63,7 +63,7 @@ def main() -> None:
 
     invocation = WorkflowRunner(deployment.app).invoke(workflow)
     print(f"\nworkflow state: {invocation.state.value}")
-    for step, job in zip(workflow.steps, invocation.jobs):
+    for step, job in zip(workflow.steps, invocation.jobs, strict=False):
         print(f"  [{step.label}] {job.state.value:>5}  dest={job.metrics.destination_id}"
               f"  gpus={job.metrics.gpu_ids}  cmd={job.command_line[:60]}...")
 

@@ -23,6 +23,11 @@ This package catches those mistakes *before* anything runs:
 ``linter``
     Path walking, suppressions, text/JSON rendering and exit codes —
     what ``python -m repro lint`` calls.
+``verifier``
+    gyan-verify — whole-deployment verification (``VER2xx`` dataflow,
+    ``VER3xx`` capacity, ``VER4xx`` small-scope model checking with
+    replayable counterexamples) — what ``python -m repro verify``
+    calls.
 """
 
 from repro.analysis.findings import Finding, Severity, worst_severity
@@ -36,8 +41,18 @@ from repro.analysis.linter import (
 )
 from repro.analysis.rules import REGISTRY, LintRule, RuleRegistry
 from repro.analysis.sanitizer import SanitizerError, SimSanitizer
+from repro.analysis.verifier import (
+    Scope,
+    VerifyOptions,
+    VerifyReport,
+    verify_paths,
+)
 
 __all__ = [
+    "Scope",
+    "VerifyOptions",
+    "VerifyReport",
+    "verify_paths",
     "Finding",
     "Severity",
     "worst_severity",

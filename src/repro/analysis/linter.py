@@ -225,10 +225,15 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
         cross = analyze_tool_against_job_conf(tool, str(path), config)
         report.findings.extend(apply_suppressions(cross, texts[path]))
 
-    report.findings.sort(
-        key=lambda f: (f.path or "", f.line or 0, f.rule_id)
-    )
+    report.findings.sort(key=finding_sort_key)
     return report
+
+
+def finding_sort_key(f: Finding) -> tuple:
+    """Total order for findings: (path, line, rule-id), then message and
+    severity as tie-breakers so equal-location findings are byte-stable
+    across runs and Python versions."""
+    return (f.path or "", f.line or 0, f.rule_id, f.message, int(f.severity))
 
 
 def _sibling_macros(
@@ -269,7 +274,7 @@ def _job_conf_for(tool_path: Path, job_confs: dict[Path, object]):
 def list_rules_text() -> str:
     """The ``--list-rules`` catalogue."""
     lines = []
-    for family in ("config", "source", "sanitizer"):
+    for family in ("config", "source", "sanitizer", "verifier"):
         lines.append(f"[{family}]")
         for rule in REGISTRY.family(family):
             lines.append(f"  {rule.rule_id}  {str(rule.severity):<7}  {rule.title}")

@@ -21,7 +21,7 @@ class LintRule:
     rule_id: str
     title: str
     severity: Severity
-    family: str  # 'config' | 'source' | 'sanitizer'
+    family: str  # 'config' | 'source' | 'sanitizer' | 'verifier'
     description: str
 
     def finding(
@@ -204,4 +204,100 @@ SIM306 = _rule(
     "A device marked unhealthy (fallen off the bus / quarantined) still "
     "reports live compute processes — mark_failed must kill every context "
     "on the device, exactly as XID 79 does on real hardware.",
+)
+
+# --------------------------------------------------------------------- #
+# whole-deployment verifier (VER2xx dataflow, VER3xx capacity,
+# VER4xx model checker) — fired by ``python -m repro verify``
+# --------------------------------------------------------------------- #
+VER200 = _rule(
+    "VER200", "deployment does not load", Severity.ERROR, "verifier",
+    "The deployment IR could not be built: a job_conf, tool wrapper, or "
+    "chaos plan in the deployment failed to parse, so no cross-file pass "
+    "can run.",
+)
+VER201 = _rule(
+    "VER201", "GPU tool can never receive a GPU", Severity.ERROR, "verifier",
+    "A tool declaring compute=gpu is reachable only via destinations that "
+    "drop GPU visibility — CPU-pinned overrides, docker destinations that "
+    "cannot pass --gpus, runners that never set CUDA_VISIBLE_DEVICES — so "
+    "every run silently falls back to CPU.",
+)
+VER202 = _rule(
+    "VER202", "resubmit chain re-enables GPU after CPU degrade",
+    Severity.WARNING, "verifier",
+    "A resubmit chain passes through a destination pinning "
+    "gpu_enabled_override=false and a later hop pins it back to true: the "
+    "degrade-to-CPU decision is undone and the job is resubmitted onto "
+    "the hardware class that already failed it.",
+)
+VER203 = _rule(
+    "VER203", "destination forces GPU it cannot deliver", Severity.ERROR,
+    "verifier",
+    "A destination pins gpu_enabled_override=true but its runner/container "
+    "flags cannot hand a GPU to the job (docker runner without "
+    "docker_enabled, or no container the tool provides): jobs there error "
+    "out instead of computing.",
+)
+VER204 = _rule(
+    "VER204", "GPU destination has no recovery arm", Severity.INFO,
+    "verifier",
+    "A GPU-capable destination declares no resubmit_destination: a mid-run "
+    "device failure errors the job with nothing to resubmit it. Harmless "
+    "if job loss is acceptable; the resilient job_conf pattern adds a "
+    "CPU-pinned recovery arm.",
+)
+VER205 = _rule(
+    "VER205", "chaos plan targets nonexistent device", Severity.ERROR,
+    "verifier",
+    "A chaos plan in the deployment injects faults into a device minor ID "
+    "that the simulated testbed does not have; the plan can never fire as "
+    "written.",
+)
+VER301 = _rule(
+    "VER301", "declared GPU memory exceeds framebuffer", Severity.ERROR,
+    "verifier",
+    "A tool's declared gpu_memory_mib demand (or the destination's) "
+    "exceeds the per-die framebuffer of the simulated testbed: every "
+    "placement is a guaranteed OOM.",
+)
+VER302 = _rule(
+    "VER302", "placement strategy can co-locate jobs past framebuffer",
+    Severity.WARNING, "verifier",
+    "Under a concrete allocation strategy (Process-ID or "
+    "Process-Allocated-Memory), some admissible job interleaving "
+    "co-locates declared demands on one die beyond its framebuffer — an "
+    "OOM the per-file linter cannot see.",
+)
+VER303 = _rule(
+    "VER303", "aggregate declared memory oversubscribes testbed",
+    Severity.WARNING, "verifier",
+    "The sum of declared GPU memory demands across concurrently-mappable "
+    "tools exceeds the whole testbed's framebuffer; full-width concurrency "
+    "is unsatisfiable.",
+)
+VER401 = _rule(
+    "VER401", "resubmit livelock under faults", Severity.ERROR, "verifier",
+    "Small-scope model checking found a fault schedule driving a job "
+    "around a resubmit cycle until the hop cap kills it: the chain "
+    "revisits a destination without making progress. The counterexample "
+    "chaos plan reproduces it via `python -m repro faults --plan`.",
+)
+VER402 = _rule(
+    "VER402", "job loss with no CPU fallback under faults", Severity.ERROR,
+    "verifier",
+    "Small-scope model checking found a fault schedule (device deaths "
+    "within the scope bounds) after which a job errors on a GPU "
+    "destination with no resubmit arm — lost outright where a CPU "
+    "fallback would have saved it. The counterexample chaos plan "
+    "reproduces it.",
+)
+VER403 = _rule(
+    "VER403", "resubmit hop cap starves a recoverable job", Severity.WARNING,
+    "verifier",
+    "Small-scope model checking found a schedule where a job exhausts "
+    "max_resubmit_hops while an untried recovery arm still exists — the "
+    "chain made progress every hop but the cap starved it short of the "
+    "destination that would have run it. The counterexample chaos plan "
+    "reproduces it.",
 )

@@ -1,0 +1,167 @@
+"""VER3xx: capacity / schedulability of declared GPU memory demands.
+
+A tool's demand is its own ``gpu_memory_mib`` resource requirement when
+declared, else the largest ``gpu_memory_mib`` param among the GPU
+destinations it can start on.  The pass then asks three questions of the
+simulated K80 testbed:
+
+* VER301 — does any single demand exceed one die's framebuffer?  (Every
+  placement OOMs.)
+* VER302 — can the *actual* allocation strategies (Process-ID and
+  Process-Allocated-Memory, the paper's §IV-C pair) co-locate demands
+  past a die's framebuffer under some admission order?  The check runs
+  the real strategy classes over synthetic usage snapshots — nothing is
+  re-modelled.
+* VER303 — do the demands in aggregate oversubscribe the whole testbed?
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.analysis import rules as R
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.findings import Finding
+from repro.analysis.verifier.ir import DeploymentIR, ToolNode
+from repro.core.allocation import (
+    MemoryAllocationStrategy,
+    PidAllocationStrategy,
+)
+from repro.core.gpu_usage import GpuUsageSnapshot
+
+#: Permutation explosion guard: beyond this many demanding tools the
+#: interleaving check samples the identity order only.
+_MAX_PERMUTED_TOOLS = 4
+
+
+def tool_demand_mib(ir: DeploymentIR, node: ToolNode) -> int | None:
+    """The framebuffer demand (MiB) attributable to one GPU tool."""
+    declared = node.tool.declared_gpu_memory_mib
+    if declared is not None:
+        return declared
+    budgets = [
+        ir.destinations[d].gpu_memory_mib
+        for d in ir.initial_destinations(node.tool_id)
+        if ir.destinations[d].grants_gpu(node.tool)
+        and ir.destinations[d].gpu_memory_mib is not None
+    ]
+    return max(budgets) if budgets else None
+
+
+def analyze_capacity(ir: DeploymentIR, ctx: ConfigContext) -> list[Finding]:
+    findings: list[Finding] = []
+    demands: list[tuple[ToolNode, int]] = []
+    for node in ir.gpu_tools():
+        demand = tool_demand_mib(ir, node)
+        if demand is None:
+            continue
+        demands.append((node, demand))
+        if demand > ctx.fb_memory_mib_per_device:
+            findings.append(
+                R.VER301.finding(
+                    f"tool {node.tool_id!r} demands {demand} MiB of GPU "
+                    f"memory, more than one simulated device's "
+                    f"{ctx.fb_memory_mib_per_device} MiB framebuffer: every "
+                    "placement is a guaranteed OOM",
+                    node.span.path,
+                    node.span.line,
+                    suggestion="lower the demand or target a device class "
+                    "with a larger framebuffer",
+                )
+            )
+
+    findings.extend(_strategy_colocation(ir, ctx, demands))
+
+    total = sum(demand for _, demand in demands)
+    if total > ctx.total_framebuffer_mib:
+        tools = ", ".join(
+            f"{node.tool_id}={demand}" for node, demand in demands
+        )
+        findings.append(
+            R.VER303.finding(
+                f"GPU tools demand {total} MiB in aggregate ({tools}), "
+                f"oversubscribing the testbed's "
+                f"{ctx.total_framebuffer_mib} MiB "
+                f"({ctx.device_count} x {ctx.fb_memory_mib_per_device} MiB): "
+                "full-width concurrency is unsatisfiable",
+                ir.job_conf_path,
+            )
+        )
+    return findings
+
+
+def _strategy_colocation(
+    ir: DeploymentIR,
+    ctx: ConfigContext,
+    demands: list[tuple[ToolNode, int]],
+) -> list[Finding]:
+    """VER302: drive the real strategies over every admission order."""
+    feasible = [
+        (node, demand)
+        for node, demand in demands
+        if demand <= ctx.fb_memory_mib_per_device  # VER301 covers the rest
+    ]
+    if len(feasible) < 2:
+        return []
+    if len(feasible) > _MAX_PERMUTED_TOOLS:
+        orders: list[tuple[tuple[ToolNode, int], ...]] = [tuple(feasible)]
+    else:
+        orders = [tuple(p) for p in permutations(feasible)]
+
+    findings: list[Finding] = []
+    for strategy in (PidAllocationStrategy(), MemoryAllocationStrategy()):
+        for order in orders:
+            overflow = _simulate_order(strategy, order, ctx)
+            if overflow is None:
+                continue
+            device, used, order_ids = overflow
+            findings.append(
+                R.VER302.finding(
+                    f"the {strategy.name!r} strategy admits order "
+                    f"{' -> '.join(order_ids)} which co-locates "
+                    f"{used} MiB on device {device} "
+                    f"({ctx.fb_memory_mib_per_device} MiB framebuffer): a "
+                    "concurrent burst of these tools OOMs",
+                    ir.job_conf_path,
+                    suggestion="declare smaller gpu_memory_mib demands or "
+                    "serialise the heavy tools",
+                )
+            )
+            break  # one witness order per strategy is enough
+    return findings
+
+
+def _simulate_order(
+    strategy, order, ctx: ConfigContext
+) -> tuple[str, int, list[str]] | None:
+    """Place each tool via the real strategy; report the first overflow.
+
+    Jobs are modelled as concurrent and never finishing (the worst
+    admissible case): each placement adds its full demand to every
+    selected device, exactly what a multi-device scatter does.
+    """
+    device_ids = [str(i) for i in range(ctx.device_count)]
+    used: dict[str, int] = {gid: 0 for gid in device_ids}
+    pids: dict[str, list[str]] = {gid: [] for gid in device_ids}
+    for index, (node, demand) in enumerate(order):
+        snapshot = GpuUsageSnapshot(
+            available_gpus=[gid for gid in device_ids if not pids[gid]],
+            all_gpus=list(device_ids),
+            proc_gpu_dict={gid: list(p) for gid, p in pids.items()},
+            fb_used_mib=dict(used),
+            fb_free_mib={
+                gid: ctx.fb_memory_mib_per_device - used[gid]
+                for gid in device_ids
+            },
+            gpu_utilization={gid: 0 for gid in device_ids},
+        )
+        requested = [
+            rid for rid in node.tool.requested_gpu_ids if rid in device_ids
+        ]
+        decision = strategy.select(requested, snapshot)
+        for gid in decision.gpu_ids:
+            used[gid] += demand
+            pids[gid].append(str(1000 + index))
+            if used[gid] > ctx.fb_memory_mib_per_device:
+                return gid, used[gid], [n.tool_id for n, _ in order]
+    return None

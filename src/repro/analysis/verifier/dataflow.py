@@ -1,0 +1,169 @@
+"""VER2xx: GPU-capability dataflow over the deployment graph.
+
+Each pass propagates a single fact — "can a job at this point still be
+granted a GPU?" — along the routes the IR exposes, and flags the places
+where the fact is dropped or contradicted:
+
+* VER201 — a ``compute=gpu`` tool whose every initial route denies GPU;
+* VER202 — a resubmit chain that re-enables GPU after a CPU degrade;
+* VER203 — a destination that forces ``gpu_enabled_override=true`` but
+  whose runner flags cannot deliver a device;
+* VER204 — a GPU-capable destination with no recovery arm (info);
+* VER205 — a shipped chaos plan targeting a device the testbed lacks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as R
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.findings import Finding
+from repro.analysis.verifier.ir import DeploymentIR
+
+
+def analyze_dataflow(ir: DeploymentIR, ctx: ConfigContext) -> list[Finding]:
+    findings: list[Finding] = []
+    findings.extend(_gpu_tool_never_granted(ir))
+    findings.extend(_regrant_after_degrade(ir))
+    findings.extend(_forced_but_undeliverable(ir))
+    findings.extend(_gpu_destination_without_arm(ir))
+    findings.extend(_plan_targets_missing_device(ir, ctx))
+    return findings
+
+
+def _gpu_tool_never_granted(ir: DeploymentIR) -> list[Finding]:
+    """VER201: propagate GPU-granted along every initial route."""
+    findings: list[Finding] = []
+    for node in ir.gpu_tools():
+        initial = ir.initial_destinations(node.tool_id)
+        if not initial:
+            continue  # no route at all: lint GYAN109 territory
+        granting = [
+            d for d in initial
+            if ir.destinations[d].grants_gpu(node.tool)
+        ]
+        if granting:
+            continue
+        findings.append(
+            R.VER201.finding(
+                f"tool {node.tool_id!r} declares compute=gpu but every "
+                f"destination it can start on ({', '.join(initial)}) denies "
+                "GPU visibility; all runs silently fall back to CPU",
+                node.span.path,
+                node.span.line,
+                suggestion="route the tool through a destination whose "
+                "runner can set CUDA_VISIBLE_DEVICES",
+            )
+        )
+    return findings
+
+
+def _regrant_after_degrade(ir: DeploymentIR) -> list[Finding]:
+    """VER202: a CPU-degrade hop followed by a GPU re-grant hop."""
+    findings: list[Finding] = []
+    reported: set[tuple[str, str]] = set()
+    for start in sorted(ir.destinations):
+        chain = ir.resubmit_chain(start)
+        degraded_at: str | None = None
+        for dest_id in chain:
+            node = ir.destinations[dest_id]
+            if node.gpu_override is False:
+                degraded_at = dest_id
+            elif node.gpu_override is True and degraded_at is not None:
+                key = (degraded_at, dest_id)
+                if key in reported:
+                    break
+                reported.add(key)
+                findings.append(
+                    R.VER202.finding(
+                        f"resubmit chain {' -> '.join(chain)} degrades to "
+                        f"CPU at {degraded_at!r} but re-enables GPU at "
+                        f"{dest_id!r}: the job is resubmitted onto the "
+                        "hardware class that already failed it",
+                        node.span.path,
+                        node.span.line,
+                        suggestion=f"drop gpu_enabled_override=true from "
+                        f"{dest_id!r} or end the chain at the CPU arm",
+                    )
+                )
+                break
+    return findings
+
+
+def _forced_but_undeliverable(ir: DeploymentIR) -> list[Finding]:
+    """VER203: override=true contradicted by the runner's own flags."""
+    findings: list[Finding] = []
+    for dest_id in sorted(ir.destinations):
+        node = ir.destinations[dest_id]
+        if node.gpu_override is not True:
+            continue
+        reason: str | None = None
+        if node.runner == "docker" and not node.destination.docker_enabled:
+            reason = "its docker runner has docker_enabled off"
+        elif (
+            node.runner == "singularity"
+            and not node.destination.singularity_enabled
+        ):
+            reason = "its singularity runner has singularity_enabled off"
+        if reason is None:
+            continue
+        findings.append(
+            R.VER203.finding(
+                f"destination {dest_id!r} pins gpu_enabled_override=true "
+                f"but {reason}: jobs mapped here error out instead of "
+                "running on a GPU",
+                node.span.path,
+                node.span.line,
+                suggestion="enable the container runtime on the "
+                "destination or drop the override",
+            )
+        )
+    return findings
+
+
+def _gpu_destination_without_arm(ir: DeploymentIR) -> list[Finding]:
+    """VER204 (info): a GPU-capable destination with no resubmit arm."""
+    findings: list[Finding] = []
+    for dest_id in sorted(ir.destinations):
+        node = ir.destinations[dest_id]
+        if node.runner == "dynamic" or not node.grants_gpu():
+            continue
+        if node.destination.resubmit_destination is not None:
+            continue
+        if node.gpu_override is False:
+            continue
+        findings.append(
+            R.VER204.finding(
+                f"GPU-capable destination {dest_id!r} declares no "
+                "resubmit_destination: a mid-run device failure errors the "
+                "job with nothing to resubmit it",
+                node.span.path,
+                node.span.line,
+                suggestion="add a resubmit arm pointing at a destination "
+                "that pins gpu_enabled_override=false",
+            )
+        )
+    return findings
+
+
+def _plan_targets_missing_device(
+    ir: DeploymentIR, ctx: ConfigContext
+) -> list[Finding]:
+    """VER205: chaos plans must target devices the testbed has."""
+    findings: list[Finding] = []
+    for plan_node in ir.plans:
+        for event in plan_node.plan.events:
+            if event.device is None or event.device < ctx.device_count:
+                continue
+            findings.append(
+                R.VER205.finding(
+                    f"chaos plan {plan_node.name!r} injects "
+                    f"{event.kind.value} into device {event.device}, but "
+                    f"the simulated testbed has devices 0..."
+                    f"{ctx.device_count - 1}",
+                    plan_node.span.path,
+                    plan_node.span.line,
+                    suggestion="fix the device id, or pass --devices N "
+                    "for a larger target host",
+                )
+            )
+    return findings

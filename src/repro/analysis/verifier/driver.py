@@ -1,0 +1,156 @@
+"""gyan-verify orchestration: load deployments, run passes, render.
+
+``verify_paths`` is the engine behind ``python -m repro verify``.  It
+builds one :class:`~repro.analysis.verifier.ir.DeploymentIR` per
+job_conf reachable from the given paths, then runs the three pass
+families over each deployment:
+
+* dataflow (VER2xx) and capacity (VER3xx) — pure static passes;
+* the small-scope model checker (VER4xx) — bounded exhaustive replay,
+  skippable with ``model_check=False`` for a fast static-only run.
+
+Output mirrors gyan-lint: the same finding model, the same sort order,
+the same text/JSON renderings and exit-code contract, so CI treats both
+tools identically.  VER4xx findings additionally carry replayable
+counterexample plans, written as JSON files when ``emit_plans`` names a
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.findings import Finding, Severity, worst_severity
+from repro.analysis.linter import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    finding_sort_key,
+)
+from repro.analysis.verifier.capacity import analyze_capacity
+from repro.analysis.verifier.dataflow import analyze_dataflow
+from repro.analysis.verifier.ir import load_deployments
+from repro.analysis.verifier.model_check import (
+    Counterexample,
+    Scope,
+    analyze_model_check,
+)
+
+
+@dataclass
+class VerifyOptions:
+    """Knobs the CLI exposes."""
+
+    device_count: int = 2
+    fail_on: Severity = Severity.ERROR
+    output_format: str = "text"  # 'text' | 'json'
+    scope: Scope = field(default_factory=Scope)
+    model_check: bool = True
+    emit_plans: str | None = None  # directory for counterexample plans
+
+
+@dataclass
+class VerifyReport:
+    """Everything one verify run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    deployments_checked: int = 0
+    replays: int = 0
+    errors: list[str] = field(default_factory=list)  # usage errors
+    emitted_plans: list[str] = field(default_factory=list)
+
+    def exit_code(self, fail_on: Severity) -> int:
+        if self.errors:
+            return EXIT_USAGE
+        worst = worst_severity(self.findings)
+        if worst is not None and worst >= fail_on:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def render_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        summary = (
+            f"{self.deployments_checked} deployment(s) checked, "
+            f"{len(self.findings)} finding(s)"
+        )
+        if self.findings:
+            counts: dict[str, int] = {}
+            for f in self.findings:
+                counts[str(f.severity)] = counts.get(str(f.severity), 0) + 1
+            summary += " (" + ", ".join(
+                f"{n} {sev}" for sev, n in sorted(counts.items())
+            ) + ")"
+        if self.replays:
+            summary += f"; {self.replays} model-check replay(s)"
+        lines.append(summary)
+        for path in self.emitted_plans:
+            lines.append(f"counterexample plan written: {path}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "deployments_checked": self.deployments_checked,
+                "findings": [f.as_dict() for f in self.findings],
+                "counterexamples": [
+                    {
+                        "rule_id": ce.rule_id,
+                        "lost_tool": ce.lost_tool,
+                        "chain_destinations": list(ce.chain_destinations),
+                        "plan": ce.plan.to_dict(),
+                    }
+                    for ce in self.counterexamples
+                ],
+                "emitted_plans": list(self.emitted_plans),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def verify_paths(
+    paths: list[str], options: VerifyOptions | None = None
+) -> VerifyReport:
+    """Verify every deployment reachable from ``paths``."""
+    options = options or VerifyOptions()
+    ctx = ConfigContext(device_count=options.device_count)
+    report = VerifyReport()
+
+    deployments, load_findings, errors = load_deployments(paths)
+    report.errors.extend(errors)
+    report.findings.extend(load_findings)
+    if not deployments and not load_findings and not errors:
+        report.errors.append(
+            "no job_conf found under the given paths; nothing to verify"
+        )
+
+    for ir in deployments:
+        report.deployments_checked += 1
+        report.findings.extend(analyze_dataflow(ir, ctx))
+        report.findings.extend(analyze_capacity(ir, ctx))
+        if options.model_check:
+            findings, counterexamples, result = analyze_model_check(
+                ir, options.scope
+            )
+            report.findings.extend(findings)
+            report.counterexamples.extend(counterexamples)
+            report.replays += result.replays
+
+    if options.emit_plans is not None and report.counterexamples:
+        out_dir = Path(options.emit_plans)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for ce in report.counterexamples:
+            path = out_dir / f"{ce.plan.name}.json"
+            path.write_text(
+                json.dumps(ce.plan.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
+            report.emitted_plans.append(str(path))
+        report.emitted_plans.sort()
+
+    report.findings.sort(key=finding_sort_key)
+    report.counterexamples.sort(key=lambda ce: (ce.rule_id, ce.plan.name))
+    return report

@@ -23,6 +23,12 @@ Commands
     Run a named chaos scenario (or a JSON injection plan) against a
     deployment and report job survival (exit 0 iff every job reached
     OK).
+``verify``
+    gyan-verify: whole-deployment static verification — cross-file
+    GPU-capability dataflow (VER2xx), capacity/schedulability against
+    the simulated testbed (VER3xx), and small-scope exhaustive model
+    checking of the mapper/health/resubmit machinery (VER4xx), with
+    replayable counterexample chaos plans.
 """
 
 from __future__ import annotations
@@ -296,16 +302,27 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"faults: {exc}", file=sys.stderr)
         return 2
 
-    resilient = not args.no_resilience
+    resilient = None if not args.no_resilience else False
+    spec = plan.workload
+    if resilient is None:
+        resilient = spec.resilient if spec is not None else True
     mode = "resilient" if resilient else "stock (no resilience)"
     print(f"plan: {plan.name} (seed {plan.seed}, {len(plan.events)} events), "
           f"mode: {mode}")
+    if spec is not None:
+        detail = f"  embedded workload: {spec.jobs} job(s), tools {spec.tools}"
+        if spec.expect:
+            detail += f", expect: {spec.expect}"
+        print(detail)
     for event in plan.events:
         target = f" device {event.device}" if event.device is not None else ""
         print(f"  t={event.time:>8.3f}s  {event.kind.value}{target}"
               f"{'  ' + event.note if event.note else ''}")
 
-    result = run_chaos(plan, jobs=args.jobs, resilient=resilient)
+    result = run_chaos(
+        plan, jobs=args.jobs,
+        resilient=False if args.no_resilience else None,
+    )
 
     print()
     for job in result.jobs:
@@ -328,6 +345,44 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"quarantine events:   {events}")
     print(f"survived:            {result.survived}/{result.jobs_requested}")
     return 0 if result.all_ok else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import Severity
+    from repro.analysis.linter import EXIT_USAGE
+    from repro.analysis.verifier import Scope, VerifyOptions, verify_paths
+
+    if not args.paths:
+        print("verify: no paths given "
+              "(try: python -m repro verify examples/configs/)",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        parts = [int(p) for p in args.scope.split(",")]
+        if len(parts) != 3:
+            raise ValueError("expected three comma-separated integers")
+        scope = Scope(devices=parts[0], jobs=parts[1], faults=parts[2])
+    except ValueError as exc:
+        print(f"verify: bad --scope {args.scope!r}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    options = VerifyOptions(
+        device_count=args.devices,
+        fail_on=Severity.from_name(args.fail_on),
+        output_format=args.format,
+        scope=scope,
+        model_check=not args.no_model_check,
+        emit_plans=args.emit_plans,
+    )
+    report = verify_paths(args.paths, options)
+    for error in report.errors:
+        print(f"verify: {error}", file=sys.stderr)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(options.fail_on)
 
 
 # --------------------------------------------------------------------- #
@@ -414,13 +469,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="named scenario (see repro.gpusim.faults.SCENARIOS)")
     faults.add_argument("--plan", default=None,
                         help="JSON injection plan file (overrides --scenario)")
-    faults.add_argument("--jobs", type=int, default=8,
-                        help="how many alternating Racon/Bonito jobs to run")
+    faults.add_argument("--jobs", type=int, default=None,
+                        help="how many alternating Racon/Bonito jobs to run "
+                             "(default: the plan's embedded workload, else 8)")
     faults.add_argument("--seed", type=int, default=0,
                         help="scenario seed (plans are (name, seed)-determined)")
     faults.add_argument("--no-resilience", action="store_true",
                         help="run the stock, fragile deployment for comparison")
     faults.set_defaults(func=cmd_faults)
+
+    verify = sub.add_parser(
+        "verify",
+        help="whole-deployment verification: dataflow, capacity, and "
+             "small-scope model checking",
+    )
+    verify.add_argument("paths", nargs="*",
+                        help="files or directories (job_conf.xml, tool "
+                             "wrappers, chaos-plan JSON)")
+    verify.add_argument("--format", choices=("text", "json"), default="text")
+    verify.add_argument("--fail-on", choices=("error", "warning", "info"),
+                        default="error",
+                        help="lowest severity that makes the exit code "
+                             "nonzero")
+    verify.add_argument("--devices", type=int, default=2,
+                        help="GPU device count of the target host (default: "
+                             "the paper's 2-die K80 testbed)")
+    verify.add_argument("--scope", default="2,3,4",
+                        help="model-check bounds as devices,jobs,faults "
+                             "(default 2,3,4; hard caps 2,3,4)")
+    verify.add_argument("--no-model-check", action="store_true",
+                        help="skip the VER4xx exhaustive pass (static "
+                             "passes only)")
+    verify.add_argument("--emit-plans", default=None, metavar="DIR",
+                        help="write each VER4xx counterexample as a "
+                             "replayable chaos-plan JSON into DIR")
+    verify.set_defaults(func=cmd_verify)
 
     return parser
 

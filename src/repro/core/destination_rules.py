@@ -42,10 +42,11 @@ def _available_gpu_count(app: GalaxyApp) -> int:
     retry = getattr(app, "nvml_retry", None)
     tracker = getattr(app, "health_tracker", None)
     try:
-        if retry is not None:
-            count = retry_call(app.node.clock, retry, nvml.nvmlDeviceGetCount)
-        else:
-            count = nvml.nvmlDeviceGetCount()
+        count = (
+            retry_call(app.node.clock, retry, nvml.nvmlDeviceGetCount)
+            if retry is not None
+            else nvml.nvmlDeviceGetCount()
+        )
     except NVMLError as exc:
         if exc.transient and (retry is not None or tracker is not None):
             return 0

@@ -64,7 +64,7 @@ class EnergyMeter:
                 s for s in session.samples if s.device_index == device.minor_number
             ]
             joules = 0.0
-            for previous, current in zip(samples, samples[1:]):
+            for previous, current in zip(samples, samples[1:], strict=False):
                 dt = current.time - previous.time
                 p0 = power_watts(device, previous.gpu_utilization)
                 p1 = power_watts(device, current.gpu_utilization)

@@ -116,6 +116,23 @@ class DeviceHealthTracker:
             gid for gid in list(self._quarantined_until) if self.is_quarantined(gid, now)
         )
 
+    def state_key(self, now: float) -> tuple:
+        """Hashable abstraction of the tracker's state at ``now``.
+
+        Model checking needs to recognise when two fault schedules leave
+        the resilience machinery in equivalent states; this key —
+        quarantined ids plus each device's recent-error count — is that
+        equivalence, deliberately blind to absolute event times.
+        """
+        quarantined = tuple(self.quarantined_ids(now))
+        error_counts = tuple(
+            sorted(
+                (gid, len([t for t in times if t > now - self.window_s]))
+                for gid, times in self._error_times.items()
+            )
+        )
+        return (quarantined, error_counts)
+
     def filter_snapshot(self, snapshot: GpuUsageSnapshot, now: float) -> GpuUsageSnapshot:
         """A copy of ``snapshot`` with quarantined devices removed.
 

@@ -72,6 +72,11 @@ GYAN_JOB_CONF_XML = """\
 #: resubmit arm pointing at a CPU destination that pins the GPU env off
 #: — Galaxy's Total-Perspective-Vortex-style recovery path.  Used by the
 #: resilient deployment and the ``python -m repro faults`` CLI.
+#: The dynamic rule's degrade arm (``local_cpu``) pins the override too:
+#: the GPU mapper prepares ``CUDA_VISIBLE_DEVICES`` before the
+#: destination is consulted, so an unpinned CPU arm would still attach
+#: jobs to a GPU — and, having no resubmit arm, lose them when that
+#: device dies (gyan-verify VER402 finds the counterexample).
 GYAN_RESILIENT_JOB_CONF_XML = """\
 <job_conf>
     <plugins>
@@ -91,7 +96,9 @@ GYAN_RESILIENT_JOB_CONF_XML = """\
         <destination id="local_gpu" runner="local">
             <param id="resubmit_destination">local_cpu_fallback</param>
         </destination>
-        <destination id="local_cpu" runner="local"/>
+        <destination id="local_cpu" runner="local">
+            <param id="gpu_enabled_override">false</param>
+        </destination>
         <destination id="local_cpu_fallback" runner="local">
             <param id="gpu_enabled_override">false</param>
         </destination>

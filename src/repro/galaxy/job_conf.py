@@ -187,11 +187,13 @@ def parse_job_conf_xml(text: str, rules: DynamicRuleRegistry | None = None) -> J
             destination_id=dest_id, runner=runner, params=params
         )
 
-    if config.default_destination is not None:
-        if config.default_destination not in config.destinations:
-            raise JobConfError(
-                f"default destination {config.default_destination!r} is not defined"
-            )
+    if (
+        config.default_destination is not None
+        and config.default_destination not in config.destinations
+    ):
+        raise JobConfError(
+            f"default destination {config.default_destination!r} is not defined"
+        )
 
     tools_node = root.find("tools")
     if tools_node is not None:

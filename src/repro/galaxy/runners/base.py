@@ -23,7 +23,7 @@ from repro.galaxy.app import (
 )
 from repro.galaxy.errors import GalaxyError
 from repro.galaxy.job import GalaxyJob, JobState
-from repro.galaxy.job_conf import Destination
+from repro.galaxy.job_conf import Destination, parse_bool_param
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR, build_param_dict
 from repro.gpusim.errors import NVMLError
 
@@ -135,8 +135,13 @@ class BaseJobRunner:
         if destination is not None:
             override = destination.params.get("gpu_enabled_override")
             if override is not None:
-                env[GPU_ENABLED_ENV_VAR] = override
-                if override == "false":
+                # Normalise through the shared truthy helper: admins write
+                # "False"/"no"/" true " in the wild, and the raw string
+                # comparison used to leave CUDA_VISIBLE_DEVICES set for a
+                # "False" override — handing a pinned-CPU job the GPU.
+                enabled = parse_bool_param(override)
+                env[GPU_ENABLED_ENV_VAR] = "true" if enabled else "false"
+                if not enabled:
                     env.pop("CUDA_VISIBLE_DEVICES", None)
         return env
 

@@ -229,10 +229,11 @@ def _substitute(line: str, ns: TemplateNamespace) -> str:
 
     def replace(match: re.Match) -> str:
         braced = match.group("braced")
-        if braced is not None:
-            value = _evaluate(braced, ns)
-        else:
-            value = ns.resolve(match.group("plain"))
+        value = (
+            _evaluate(braced, ns)
+            if braced is not None
+            else ns.resolve(match.group("plain"))
+        )
         return "" if value is None else str(value)
 
     return _PLACEHOLDER.sub(replace, line)

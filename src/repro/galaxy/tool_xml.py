@@ -30,6 +30,12 @@ COMPUTE_REQUIREMENT_TYPE = "compute"
 GPU_REQUIREMENT_NAME = "gpu"
 CPU_REQUIREMENT_NAME = "cpu"
 
+#: Declarative resource requirements.  Following the compute-requirement
+#: convention, ``<requirement type="resource" version="MIB">gpu_memory_mib``
+#: overloads ``version`` as the tool's declared GPU framebuffer demand.
+RESOURCE_REQUIREMENT_TYPE = "resource"
+GPU_MEMORY_RESOURCE_NAME = "gpu_memory_mib"
+
 
 def parse_gpu_minor_ids(version: str) -> list[int]:
     """Parse the comma-separated GPU minor IDs of a compute requirement.
@@ -110,7 +116,11 @@ class ToolParameter:
         if self.param_type == "boolean":
             if isinstance(raw, bool):
                 return raw
-            return str(raw).lower() in ("true", "yes", "1")
+            # Delegate to the job_conf truthy helper so tool params and
+            # destination params can never drift on what counts as true.
+            from repro.galaxy.job_conf import parse_bool_param
+
+            return parse_bool_param(str(raw))
         return str(raw)
 
 
@@ -169,6 +179,24 @@ class ToolDefinition:
         if req is None or not req.is_gpu_compute or not req.version:
             return []
         return [part.strip() for part in req.version.split(",") if part.strip()]
+
+    @property
+    def declared_gpu_memory_mib(self) -> int | None:
+        """GPU framebuffer demand (MiB) declared via a resource requirement.
+
+        ``None`` when the wrapper declares no
+        ``<requirement type="resource" version="MIB">gpu_memory_mib``
+        entry — the common case; capacity checks then fall back to
+        destination-level ``gpu_memory_mib`` params.
+        """
+        for req in self.requirements:
+            if (
+                req.req_type == RESOURCE_REQUIREMENT_TYPE
+                and req.name == GPU_MEMORY_RESOURCE_NAME
+                and req.version
+            ):
+                return int(req.version)
+        return None
 
     def container_for(self, container_type: str) -> ContainerSpec | None:
         """The first container of the given type, if any."""
@@ -340,6 +368,23 @@ def parse_tool_xml(
                 )
             if req.name == GPU_REQUIREMENT_NAME and req.version:
                 parse_gpu_minor_ids(req.version)
+        for req in definition.requirements:
+            if (
+                req.req_type != RESOURCE_REQUIREMENT_TYPE
+                or req.name != GPU_MEMORY_RESOURCE_NAME
+            ):
+                continue
+            try:
+                mib = int(req.version or "")
+            except ValueError:
+                raise ToolParseError(
+                    "gpu_memory_mib resource requirement version must be an "
+                    f"integer MiB count, got {req.version!r}"
+                ) from None
+            if mib <= 0:
+                raise ToolParseError(
+                    f"gpu_memory_mib resource requirement must be > 0, got {mib}"
+                )
 
     command_node = root.find("command")
     if command_node is not None and command_node.text:

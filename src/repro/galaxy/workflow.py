@@ -142,7 +142,7 @@ class WorkflowInvocation:
         """The job of a step, by index or label (None if not run yet)."""
         if isinstance(step, int):
             return self.jobs[step] if 0 <= step < len(self.jobs) else None
-        for job, definition_step in zip(self.jobs, self.definition.steps):
+        for job, definition_step in zip(self.jobs, self.definition.steps, strict=False):
             if definition_step.label == step:
                 return job
         return None

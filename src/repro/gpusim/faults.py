@@ -120,17 +120,73 @@ class FaultEvent:
 
 
 @dataclass(frozen=True)
+class WorkloadSpec:
+    """The workload a plan was authored against, embedded in the plan.
+
+    Counterexample plans emitted by the deployment verifier must replay
+    against the *exact* deployment the model checker explored — same
+    job_conf, same job count and tool order, same hop cap — not the
+    chaos CLI's defaults.  Embedding the workload makes the plan file
+    self-contained: ``python -m repro faults --plan ce.json`` rebuilds
+    the deployment from the spec and reproduces the property violation.
+    """
+
+    #: Number of jobs to submit.
+    jobs: int = 8
+    #: Tool ids cycled over the jobs.
+    tools: tuple[str, ...] = ("racon", "bonito")
+    #: Build the resilient deployment (health tracker, retries)?
+    resilient: bool = True
+    #: Inline job_conf XML overriding the deployment default, if any.
+    job_conf_xml: str | None = None
+    #: Override for GalaxyApp.max_resubmit_hops, if any.
+    max_resubmit_hops: int | None = None
+    #: What the plan author expects the run to show: "all_ok" or
+    #: "job_loss".  Purely documentary; the CLI prints it.
+    expect: str | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"jobs": self.jobs, "tools": list(self.tools),
+                      "resilient": self.resilient}
+        if self.job_conf_xml is not None:
+            data["job_conf_xml"] = self.job_conf_xml
+        if self.max_resubmit_hops is not None:
+            data["max_resubmit_hops"] = self.max_resubmit_hops
+        if self.expect is not None:
+            data["expect"] = self.expect
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> WorkloadSpec:
+        return cls(
+            jobs=int(data.get("jobs", 8)),
+            tools=tuple(data.get("tools", ("racon", "bonito"))),
+            resilient=bool(data.get("resilient", True)),
+            job_conf_xml=data.get("job_conf_xml"),
+            max_resubmit_hops=(
+                int(data["max_resubmit_hops"])
+                if data.get("max_resubmit_hops") is not None
+                else None
+            ),
+            expect=data.get("expect"),
+        )
+
+
+@dataclass(frozen=True)
 class InjectionPlan:
     """A named, seeded schedule of fault events.
 
     The plan is *the* reproducibility unit: two runs armed with equal
     plans observe identical fault timing, so any divergence comes from
-    the workload itself.
+    the workload itself.  A plan may additionally pin the workload it
+    was authored against (:class:`WorkloadSpec`) — verifier
+    counterexamples do, so they replay byte-for-byte.
     """
 
     name: str
     seed: int
     events: tuple[FaultEvent, ...]
+    workload: WorkloadSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -139,11 +195,14 @@ class InjectionPlan:
 
     def to_dict(self) -> dict:
         """JSON-ready representation of the whole plan."""
-        return {
+        data = {
             "name": self.name,
             "seed": self.seed,
             "events": [e.to_dict() for e in self.events],
         }
+        if self.workload is not None:
+            data["workload"] = self.workload.to_dict()
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """Serialise, stably ordered, for ``examples/configs`` files."""
@@ -152,10 +211,12 @@ class InjectionPlan:
     @classmethod
     def from_dict(cls, data: dict) -> InjectionPlan:
         """Parse a plan from its JSON form."""
+        workload = data.get("workload")
         return cls(
             name=str(data.get("name", "unnamed")),
             seed=int(data.get("seed", 0)),
             events=tuple(FaultEvent.from_dict(e) for e in data.get("events", [])),
+            workload=WorkloadSpec.from_dict(workload) if workload else None,
         )
 
     @classmethod

@@ -140,10 +140,7 @@ class SmiSoup:
     """
 
     def __init__(self, source: str | ET.Element) -> None:
-        if isinstance(source, str):
-            self._element = ET.fromstring(source)
-        else:
-            self._element = source
+        self._element = ET.fromstring(source) if isinstance(source, str) else source
 
     @property
     def name(self) -> str:

@@ -349,7 +349,7 @@ class Basecaller:
         result.total_flops = conv_flops_total + gemm_flops
 
         offset = 0
-        for read, means in zip(reads, means_chunks):
+        for read, means in zip(reads, means_chunks, strict=True):
             count = means.shape[0]
             read_scores = scores[offset : offset + count]
             offset += count

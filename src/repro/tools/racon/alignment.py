@@ -40,7 +40,7 @@ class AlignmentResult:
         """Number of exactly matching columns."""
         return sum(
             1
-            for q, t in zip(self.query_aligned, self.target_aligned)
+            for q, t in zip(self.query_aligned, self.target_aligned, strict=True)
             if q == t and q != "-"
         )
 

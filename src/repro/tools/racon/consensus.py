@@ -261,10 +261,11 @@ class RaconPolisher:
         of the windowing logic.
         """
         windows, dropped = self.build_windows(backbone, reads, mappings)
-        if window_processor is None:
-            consensuses = [self.polish_window(w) for w in windows]
-        else:
-            consensuses = window_processor(windows, self)
+        consensuses = (
+            [self.polish_window(w) for w in windows]
+            if window_processor is None
+            else window_processor(windows, self)
+        )
         polished_count = sum(1 for w in windows if w.fragments)
         used = sum(len(w.fragments) for w in windows)
         polished = SeqRecord(

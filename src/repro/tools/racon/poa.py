@@ -288,11 +288,14 @@ class POAGraph:
                 if current < 0:
                     current = self._new_node(base, weight=weight).node_id
                     rank[current] = synthetic_rank(previous, bound)
-            if previous is not None and current != previous:
-                if rank[previous] < rank[current]:
-                    self._add_edge(previous, current, weight)
-                # A rank inversion would create a cycle; the support is
-                # still counted on the node, only the edge is dropped.
+            # A rank inversion would create a cycle; the support is
+            # still counted on the node, only the edge is dropped.
+            if (
+                previous is not None
+                and current != previous
+                and rank[previous] < rank[current]
+            ):
+                self._add_edge(previous, current, weight)
             previous = current
         self.sequences_added += 1
 

@@ -122,20 +122,40 @@ def resolve_plan(
 
 def run_chaos(
     plan: InjectionPlan,
-    jobs: int = 8,
-    resilient: bool = True,
-    tools: tuple[str, ...] = DEFAULT_TOOLS,
+    jobs: int | None = None,
+    resilient: bool | None = None,
+    tools: tuple[str, ...] | None = None,
 ) -> ChaosRunResult:
     """Drive ``jobs`` tool runs through a deployment under ``plan``.
 
     Everything is deterministic: the deployment, the plan (seeded), and
     the workload order, so equal inputs produce identical results.
+
+    A plan may embed the workload it was authored against
+    (:class:`~repro.gpusim.faults.WorkloadSpec` — verifier
+    counterexamples do): its fields supply the defaults here, and also
+    pin the job_conf and resubmit hop cap of the deployment.  Explicit
+    arguments always win over the embedded spec.
     """
     # Imported here: executors pulls in workloads.datasets, so a module-
     # level import would cycle through this package's __init__.
     from repro.tools.executors import register_paper_tools
 
-    deployment = build_deployment(resilient=resilient)
+    spec = plan.workload
+    if jobs is None:
+        jobs = spec.jobs if spec is not None else 8
+    if resilient is None:
+        resilient = spec.resilient if spec is not None else True
+    if tools is None:
+        tools = spec.tools if spec is not None else DEFAULT_TOOLS
+
+    deployment = build_deployment(
+        resilient=resilient,
+        job_conf_xml=spec.job_conf_xml if spec is not None else None,
+        max_resubmit_hops=(
+            spec.max_resubmit_hops if spec is not None else None
+        ),
+    )
     register_paper_tools(deployment.app)
     injector = deployment.inject(plan)
 

@@ -189,3 +189,23 @@ class TestCli:
 ])
 def test_severity_from_name(name, expected):
     assert Severity.from_name(name) is expected
+
+
+class TestDeterminism:
+    def test_json_output_is_byte_stable_across_runs(self):
+        """Two identical lint runs must render byte-identical JSON —
+        CI diffs and caching depend on it."""
+        first = _run([FIXTURES / "bad", FIXTURES / "good"])
+        second = _run([FIXTURES / "bad", FIXTURES / "good"])
+        assert first.render_json() == second.render_json()
+        assert first.render_text() == second.render_text()
+
+    def test_findings_totally_ordered(self):
+        from repro.analysis.linter import finding_sort_key
+
+        report = _run([FIXTURES / "bad"])
+        keys = [finding_sort_key(f) for f in report.findings]
+        assert keys == sorted(keys)
+        # The key covers every finding attribute that renders, so equal
+        # keys mean identical output lines — no unstable ties.
+        assert len(set(keys)) == len(keys)

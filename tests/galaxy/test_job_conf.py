@@ -147,3 +147,49 @@ class TestRegistry:
     def test_missing_rule_error(self):
         with pytest.raises(JobConfError):
             DynamicRuleRegistry().get("nope")
+
+
+class TestParseBoolParam:
+    """Table-driven contract for the shared truthy helper.
+
+    Every consumer — destination flags, the runners' override handling,
+    tool boolean params, the linter — must agree on exactly this table,
+    so a config that lints clean cannot behave differently at runtime.
+    """
+
+    TRUTHY = ["true", "True", "TRUE", "yes", "Yes", "on", "ON", "1",
+              " true ", "\tyes\n", " 1 "]
+    FALSY = ["false", "False", "FALSE", "no", "No", "off", "0", "",
+             " false ", "  ", "2", "enabled", "y", "t"]
+
+    @pytest.mark.parametrize("raw", TRUTHY)
+    def test_truthy_spellings(self, raw):
+        from repro.galaxy.job_conf import parse_bool_param
+
+        assert parse_bool_param(raw) is True
+
+    @pytest.mark.parametrize("raw", FALSY)
+    def test_falsy_spellings(self, raw):
+        from repro.galaxy.job_conf import parse_bool_param
+
+        assert parse_bool_param(raw) is False
+
+    def test_none_uses_default(self):
+        from repro.galaxy.job_conf import parse_bool_param
+
+        assert parse_bool_param(None) is False
+        assert parse_bool_param(None, default=True) is True
+
+    @pytest.mark.parametrize("raw", ["True", "YES", " on "])
+    def test_destination_flags_accept_all_spellings(self, raw):
+        xml = f"""\
+<job_conf>
+  <plugins><plugin id="docker" type="runner" load="x:Y"/></plugins>
+  <destinations default="d">
+    <destination id="d" runner="docker">
+      <param id="docker_enabled">{raw}</param>
+    </destination>
+  </destinations>
+</job_conf>"""
+        config = parse_job_conf_xml(xml)
+        assert config.destination("d").docker_enabled is True

@@ -130,7 +130,7 @@ class TestResubmitChains:
         dep = _chain_deployment(max_hops=3, fail_first_n=99)
         dep.app.submit_and_run("t")
         jobs = sorted(dep.app.jobs.values(), key=lambda j: j.job_id)
-        for earlier, later in zip(jobs, jobs[1:]):
+        for earlier, later in zip(jobs, jobs[1:], strict=False):
             assert earlier.metrics.resubmitted_as == later.job_id
         assert jobs[-1].metrics.resubmitted_as is None
 

@@ -145,3 +145,51 @@ class TestMacros:
             parse_macros_xml("<notmacros/>")
         with pytest.raises(ToolParseError):
             parse_macros_xml("<macros><xml/></macros>")  # missing name
+
+
+class TestBooleanCoercionDelegation:
+    """ToolParameter.coerce must share job_conf's truthy table (it used
+    to keep its own, which rejected "on" and unstripped input)."""
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("yes", True), ("on", True), ("1", True),
+        (" True ", True), ("false", False), ("off", False), ("no", False),
+        ("0", False), ("anything-else", False),
+    ])
+    def test_matches_parse_bool_param(self, raw, expected):
+        tool = parse_tool_xml(GPU_TOOL)
+        assert tool.parameter("flag").coerce(raw) is expected
+
+    def test_tables_cannot_drift(self):
+        from repro.galaxy.job_conf import parse_bool_param
+
+        tool = parse_tool_xml(GPU_TOOL)
+        for raw in ("true", "True", "yes", "on", "1", " on ", "false",
+                    "off", "", "2", "enabled"):
+            assert tool.parameter("flag").coerce(raw) is parse_bool_param(raw)
+
+
+GPU_MEMORY_TOOL = """\
+<tool id="heavy" name="H" version="1.0">
+  <requirements>
+    <requirement type="compute" version="0">gpu</requirement>
+    <requirement type="resource" version="{version}">gpu_memory_mib</requirement>
+  </requirements>
+  <command>run</command>
+</tool>
+"""
+
+
+class TestGpuMemoryResource:
+    def test_declared_demand_parsed(self):
+        tool = parse_tool_xml(GPU_MEMORY_TOOL.format(version="8192"))
+        assert tool.declared_gpu_memory_mib == 8192
+
+    def test_absent_means_none(self):
+        assert parse_tool_xml(MINIMAL).declared_gpu_memory_mib is None
+        assert parse_tool_xml(GPU_TOOL).declared_gpu_memory_mib is None
+
+    @pytest.mark.parametrize("bad", ["lots", "8 GiB", "", "0", "-5"])
+    def test_invalid_demand_rejected(self, bad):
+        with pytest.raises(ToolParseError):
+            parse_tool_xml(GPU_MEMORY_TOOL.format(version=bad))

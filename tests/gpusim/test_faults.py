@@ -174,3 +174,34 @@ class TestFaultInjector:
             "fault_ecc_errors", "fault_device_lost", "fault_nvml_flake",
             "fault_container_launch_fail", "fault_device_recover",
         ]
+
+
+class TestWorkloadSpec:
+    def test_plan_roundtrip_with_workload(self):
+        from repro.gpusim.faults import WorkloadSpec
+
+        plan = InjectionPlan(
+            name="with-workload", seed=3,
+            events=(FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOST,
+                               device=0, xid=79),),
+            workload=WorkloadSpec(jobs=3, tools=("racon",), resilient=True,
+                                  job_conf_xml="<job_conf/>",
+                                  expect="job_loss"),
+        )
+        rehydrated = InjectionPlan.from_dict(plan.to_dict())
+        assert rehydrated.workload == plan.workload
+        assert rehydrated == plan
+
+    def test_workload_dict_is_self_contained(self):
+        from repro.gpusim.faults import WorkloadSpec
+
+        data = WorkloadSpec(jobs=2).to_dict()
+        assert data == {"jobs": 2, "tools": ["racon", "bonito"],
+                        "resilient": True}
+        assert WorkloadSpec.from_dict(data) == WorkloadSpec(jobs=2)
+
+    def test_plans_without_workload_stay_compatible(self):
+        plan = InjectionPlan(name="legacy", seed=0, events=())
+        data = plan.to_dict()
+        assert "workload" not in data
+        assert InjectionPlan.from_dict(data).workload is None

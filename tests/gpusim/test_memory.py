@@ -1,5 +1,7 @@
 """Device memory allocator invariants."""
 
+import contextlib
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -106,10 +108,8 @@ def test_accounting_invariant_under_random_operations(operations):
     live = []
     for op, pid, size in operations:
         if op == "alloc":
-            try:
+            with contextlib.suppress(DeviceOutOfMemoryError):
                 live.append(allocator.alloc(size, owner_pid=pid))
-            except DeviceOutOfMemoryError:
-                pass
         elif op == "free" and live:
             allocator.free(live.pop())
         elif op == "release":

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.allocation import BoardAwareAllocationStrategy, strategy_by_name
 from repro.core.gpu_usage import get_gpu_usage_snapshot
+from repro.gpusim.errors import InvalidDeviceError
 from repro.gpusim.host import GPUHost, make_k80_host
 from repro.gpusim.smi import render_topology
 
@@ -19,7 +20,7 @@ class TestBoardGeometry:
     def test_validation(self):
         with pytest.raises(ValueError):
             GPUHost(device_count=2, dies_per_board=0)
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidDeviceError):
             make_k80_host().board_of(9)
 
 

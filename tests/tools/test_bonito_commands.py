@@ -43,7 +43,7 @@ class TestConvert:
         assert len(chunks) == len(squiggle_reads)
         assert chunks.signals.shape[1] == max(len(r) for r in squiggle_reads)
         back = chunks_to_reads(chunks)
-        for original, restored in zip(squiggle_reads, back):
+        for original, restored in zip(squiggle_reads, back, strict=True):
             assert restored.read_id == original.read_id
             assert restored.true_sequence == original.true_sequence
             assert np.allclose(restored.signal, original.signal)

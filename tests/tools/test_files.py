@@ -33,7 +33,7 @@ class TestMaterialize:
         dataset = materialize(read_set, tmp_path)
         loaded = load(dataset)
         assert len(loaded.reads) == len(read_set.records)
-        for original, restored in zip(read_set.records, loaded.reads):
+        for original, restored in zip(read_set.records, loaded.reads, strict=True):
             assert restored.name == original.name
             assert restored.sequence == original.sequence
             assert restored.quality is not None  # Q20 filled in

@@ -26,7 +26,7 @@ class TestPolishRounds:
             identity(r.polished.sequence, truth) for r in results
         ]
         assert len(results) == 3
-        for before, after in zip(identities, identities[1:]):
+        for before, after in zip(identities, identities[1:], strict=False):
             assert after >= before - 0.005  # tolerate tiny oscillation
         assert identities[-1] > identities[0]
 
