@@ -84,13 +84,20 @@ class SimSanitizer:
     # invariant checks (also usable directly from tests)
     # ------------------------------------------------------------------ #
     def check_allocator(self, allocator: MemoryAllocator) -> None:
-        """SIM305: byte accounting on one device allocator."""
-        used, free, capacity = allocator.used, allocator.free_bytes, allocator.capacity
-        if used + free != capacity or used < 0 or used > capacity:
+        """SIM305: byte accounting on one device allocator.
+
+        Recomputes usage from the live allocation/context tables and
+        checks it against the allocator's incremental ``used`` counter —
+        catching both out-of-range totals and counter drift.
+        """
+        used, capacity = allocator.used, allocator.capacity
+        actual = allocator.audit_used()
+        if actual != used or used < 0 or actual < 0 or actual > capacity:
             self._report(
                 R.SIM305,
-                f"device {allocator.device_index}: used({used}) + free({free}) "
-                f"!= capacity({capacity})",
+                f"device {allocator.device_index}: live allocations sum to "
+                f"{actual} bytes but used counter says {used} "
+                f"(capacity {capacity})",
             )
 
     def check_device(self, device: GPUDevice) -> None:

@@ -29,6 +29,10 @@ Commands
     the simulated testbed (VER3xx), and small-scope exhaustive model
     checking of the mapper/health/resubmit machinery (VER4xx), with
     replayable counterexample chaos plans.
+``bench``
+    Time the simulation-core hot paths (long-job monitor, burst
+    dispatch, chaos run, timeline queries) on the wall clock and emit
+    ``BENCH_sim_core.json`` — the ROADMAP's perf-trajectory artifact.
 """
 
 from __future__ import annotations
@@ -385,6 +389,33 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code(options.fail_on)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchmarking import SUITE_NAME, run_suite, sim_core_suite
+
+    scenarios = sim_core_suite(quick=args.quick)
+    if args.list:
+        for scenario in scenarios:
+            print(f"{scenario.name:<24}{scenario.description}")
+        return 0
+    if args.scenarios:
+        known = {scenario.name for scenario in scenarios}
+        unknown = [name for name in args.scenarios if name not in known]
+        if unknown:
+            print(f"bench: unknown scenario(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+        scenarios = [s for s in scenarios if s.name in set(args.scenarios)]
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+
+    report = run_suite(scenarios, suite=SUITE_NAME, repeats=repeats,
+                       quick=args.quick)
+    print(report.render_text(), end="")
+    if args.output:
+        report.write(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -504,6 +535,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write each VER4xx counterexample as a "
                              "replayable chaos-plan JSON into DIR")
     verify.set_defaults(func=cmd_verify)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time simulation-core hot paths and emit BENCH_sim_core.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke sizes: shorter job, smaller burst, "
+                            "2 repeats (same schema)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="repeats per scenario (default 5, or 2 with "
+                            "--quick)")
+    bench.add_argument("--output", default="BENCH_sim_core.json",
+                       help="JSON artifact path (empty string to skip "
+                            "writing)")
+    bench.add_argument("--scenario", action="append", dest="scenarios",
+                       metavar="NAME",
+                       help="run only the named scenario (repeatable)")
+    bench.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -56,25 +56,27 @@ class EnergyMeter:
         self.monitor = monitor
 
     def job_energy(self, job_id: int) -> EnergyReport:
-        """Energy of one monitored job."""
+        """Energy of one monitored job.
+
+        Reads the monitor's columnar per-device series directly — no
+        per-device re-filter of a flat sample list, no sample-object
+        materialisation.
+        """
         session = self.monitor.session_for(job_id)
+        times = session.times
         per_device: dict[int, float] = {}
         for device in self.monitor.host.devices:
-            samples = [
-                s for s in session.samples if s.device_index == device.minor_number
-            ]
+            series = session.device_series(device.minor_number)
             joules = 0.0
-            for previous, current in zip(samples, samples[1:], strict=False):
-                dt = current.time - previous.time
-                p0 = power_watts(device, previous.gpu_utilization)
-                p1 = power_watts(device, current.gpu_utilization)
-                joules += 0.5 * (p0 + p1) * dt
+            if series is not None:
+                utils = series.gpu_util
+                for i in range(1, len(utils)):
+                    dt = times[i] - times[i - 1]
+                    p0 = power_watts(device, utils[i - 1])
+                    p1 = power_watts(device, utils[i])
+                    joules += 0.5 * (p0 + p1) * dt
             per_device[device.minor_number] = joules
-        duration = (
-            session.samples[-1].time - session.samples[0].time
-            if len(session.samples) >= 2
-            else 0.0
-        )
+        duration = times[-1] - times[0] if len(times) >= 2 else 0.0
         return EnergyReport(
             job_id=job_id,
             duration_seconds=duration,

@@ -67,6 +67,17 @@ class GpuComputationMapper:
         CPU arm instead of propagating.  Without them, the error
         propagates — the pre-resilience behaviour, preserved so chaos
         runs can demonstrate the difference.
+    cache_snapshots:
+        Reuse successful usage probes across jobs submitted at the same
+        clock instant with an unchanged host state.  A burst of N
+        simultaneous submissions then costs one ``nvidia-smi`` parse
+        instead of N.  Correctness rests on the host's
+        :attr:`~repro.gpusim.host.GPUHost.state_version`: any allocation,
+        free, process transition, health change or pending injected fault
+        bumps it and invalidates the cache.  Failed probes are never
+        cached, so retry/degradation accounting under NVML flakes is
+        identical with the cache on.  Disable for chaos tests that want
+        every probe to actually hit the (possibly flaky) NVML surface.
     """
 
     def __init__(
@@ -76,6 +87,7 @@ class GpuComputationMapper:
         admission=None,
         health: DeviceHealthTracker | None = None,
         retry: BackoffPolicy | None = None,
+        cache_snapshots: bool = True,
     ) -> None:
         self.host = host
         self.strategy = strategy or PidAllocationStrategy()
@@ -83,9 +95,15 @@ class GpuComputationMapper:
         self.admission = admission
         self.health = health
         self.retry = retry
+        self.cache_snapshots = cache_snapshots
         self.history: list[MappingRecord] = []
         #: NVML failures the resilient mapper absorbed (diagnostics).
         self.degraded_queries: int = 0
+        #: Usage probes that actually ran vs. ones served from cache.
+        self.snapshot_probes: int = 0
+        self.snapshot_cache_hits: int = 0
+        self._count_cache: tuple[tuple[float, int], int] | None = None
+        self._snapshot_cache: tuple[tuple[float, int], object] | None = None
         self._nvml = NvmlLibrary(host) if host is not None else None
         if self._nvml is not None:
             self._nvml.nvmlInit()
@@ -102,17 +120,58 @@ class GpuComputationMapper:
             return fn()
         return retry_call(self.host.clock, self.retry, fn)
 
+    def _cache_key(self) -> tuple[float, int] | None:
+        """Current ``(clock instant, host state version)`` pair.
+
+        Two probes made at equal keys are guaranteed to observe the same
+        host, so the second can be served from cache.  ``None`` disables
+        caching (knob off or no host).
+        """
+        if not self.cache_snapshots or self.host is None:
+            return None
+        return (self.host.clock.now, self.host.state_version)
+
     def gpu_count(self) -> int:
         """Device count via NVML — the paper's availability probe."""
         if self._nvml is None:
             return 0
+        key = self._cache_key()
+        if key is not None and self._count_cache is not None:
+            cached_key, cached_count = self._count_cache
+            if cached_key == key:
+                return cached_count
         try:
-            return self._query(self._nvml.nvmlDeviceGetCount)
+            count = self._query(self._nvml.nvmlDeviceGetCount)
         except Exception as exc:
             if self.resilient and is_transient_nvml_error(exc):
                 self.degraded_queries += 1
                 return 0  # treat an unobservable host as GPU-less: CPU arm
             raise
+        if key is not None:
+            # Re-key after the probe: retry backoff may have advanced the
+            # clock and consumed pending flakes (both change the key).
+            self._count_cache = (self._cache_key(), count)
+        return count
+
+    def _probe_snapshot(self):
+        """``get_gpu_usage`` with same-instant memoisation.
+
+        Only successful probes are cached, and downstream consumers
+        (health filter, strategies, admission) never mutate a snapshot,
+        so sharing one object across a burst is safe.  Failures propagate
+        exactly as without the cache.
+        """
+        key = self._cache_key()
+        if key is not None and self._snapshot_cache is not None:
+            cached_key, cached_snapshot = self._snapshot_cache
+            if cached_key == key:
+                self.snapshot_cache_hits += 1
+                return cached_snapshot
+        self.snapshot_probes += 1
+        snapshot = self._query(lambda: get_gpu_usage_snapshot(self.host))
+        if key is not None:
+            self._snapshot_cache = (self._cache_key(), snapshot)
+        return snapshot
 
     def prepare_environment(self, job: GalaxyJob) -> dict[str, str]:
         """Pseudocode 2: env entries for a job about to be spawned.
@@ -132,7 +191,7 @@ class GpuComputationMapper:
         if gpu_enabled:
             assert self.host is not None
             try:
-                snapshot = self._query(lambda: get_gpu_usage_snapshot(self.host))
+                snapshot = self._probe_snapshot()
             except Exception as exc:
                 if not (self.resilient and is_transient_nvml_error(exc)):
                     raise

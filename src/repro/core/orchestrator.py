@@ -198,6 +198,7 @@ def build_deployment(
     nvml_retry: BackoffPolicy | None = None,
     launch_retry: BackoffPolicy | None = None,
     max_resubmit_hops: int | None = None,
+    cache_snapshots: bool = True,
 ) -> GyanDeployment:
     """Build the paper's deployment on the given (or default testbed) node.
 
@@ -223,6 +224,10 @@ def build_deployment(
     health_tracker / nvml_retry / launch_retry / max_resubmit_hops:
         Override the resilient defaults; each implies ``resilient`` for
         its own layer when passed explicitly.
+    cache_snapshots:
+        Forwarded to :class:`GpuComputationMapper`: reuse usage probes
+        across same-instant submissions.  Disable for chaos runs that
+        need every probe to hit the NVML surface.
     """
     node = node or ComputeNode.paper_testbed()
     if resilient:
@@ -248,6 +253,7 @@ def build_deployment(
         strategy=strategy_by_name(allocation_strategy),
         health=health_tracker,
         retry=nvml_retry,
+        cache_snapshots=cache_snapshots,
     )
     monitor = (
         GPUUsageMonitor(node.gpu_host)

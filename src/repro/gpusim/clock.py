@@ -8,10 +8,28 @@ GYAN's *decisions* depend on device state at submit time, and the
 exercised deterministically and instantly.
 
 All durations are in seconds (float).  The clock only moves forward.
+
+Performance notes (see ``docs/performance.md``):
+
+* :meth:`VirtualClock.call_at` / :meth:`VirtualClock.call_later` return a
+  :class:`TimerHandle`; cancelled timers are dropped lazily when they
+  surface at the top of the heap, so cancellation is O(1) and never
+  rebuilds the queue.
+* :class:`VirtualClock` exposes *span listeners*: between two consecutive
+  callback firings the simulation is quiescent (no simulated state can
+  change), so a listener observing ``(start, end]`` spans can aggregate
+  per-second telemetry in bulk instead of scheduling one callback per
+  simulated second.  This is what lets the §V-C usage monitor follow a
+  >210 h Bonito run without 756k heap operations.
+* :class:`Timeline` keeps its event list incrementally sorted (append
+  fast-path, ``bisect`` insertion otherwise) and serves
+  :meth:`Timeline.between` via binary search and
+  :meth:`Timeline.labelled` from a per-label index instead of full scans.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 from dataclasses import dataclass, field
@@ -41,37 +59,106 @@ class Timeline:
     happened when, in virtual time.  Iteration yields events in
     chronological order even if they were appended out of order (which can
     happen when several simulated processes interleave).
+
+    The event list is kept sorted *incrementally*: in-order appends (the
+    overwhelmingly common case) are O(1), out-of-order records fall back
+    to a ``bisect`` insertion.  Queries therefore never trigger a full
+    re-sort or a defensive copy of the whole log.
     """
 
     def __init__(self) -> None:
         self._events: list[TimelineEvent] = []
+        #: Parallel list of event times, kept in lockstep with
+        #: ``_events`` so ``between()`` can binary-search floats directly.
+        self._times: list[float] = []
+        #: Per-label chronological index backing ``labelled()``.
+        self._by_label: dict[str, list[TimelineEvent]] = {}
         self._counter = itertools.count()
-        self._sorted = True
 
     def record(self, time: float, label: str, payload: Any = None) -> TimelineEvent:
         """Append an event at ``time`` and return it."""
         event = TimelineEvent(time=time, seq=next(self._counter), label=label, payload=payload)
-        if self._events and event < self._events[-1]:
-            self._sorted = False
-        self._events.append(event)
+        events = self._events
+        if not events or not event < events[-1]:
+            events.append(event)
+            self._times.append(event.time)
+        else:
+            # Out-of-order record: insert at the chronological position.
+            # ``seq`` is strictly increasing, so the new event sorts after
+            # every existing event with the same timestamp (stable order).
+            index = bisect.bisect_right(self._times, event.time)
+            events.insert(index, event)
+            self._times.insert(index, event.time)
+        per_label = self._by_label.setdefault(label, [])
+        if not per_label or not event < per_label[-1]:
+            per_label.append(event)
+        else:
+            bisect.insort_right(per_label, event)
         return event
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[TimelineEvent]:
-        if not self._sorted:
-            self._events.sort()
-            self._sorted = True
-        return iter(list(self._events))
+        return iter(self._events)
 
     def between(self, start: float, end: float) -> list[TimelineEvent]:
         """Events with ``start <= time < end``, chronologically."""
-        return [e for e in self if start <= e.time < end]
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return self._events[lo:hi]
 
     def labelled(self, label: str) -> list[TimelineEvent]:
         """All events carrying exactly ``label``."""
-        return [e for e in self if e.label == label]
+        return list(self._by_label.get(label, ()))
+
+
+class TimerHandle:
+    """A cancellable scheduled callback.
+
+    Returned by :meth:`VirtualClock.call_at` / :meth:`VirtualClock.call_later`.
+    :meth:`cancel` is O(1): the heap entry stays where it is and is
+    discarded when it reaches the top, so owners of dead timers (a
+    stopped usage monitor, a disarmed fault injector) never leave live
+    callbacks behind.
+    """
+
+    __slots__ = ("when", "callback", "cancelled", "fired", "_clock")
+
+    def __init__(
+        self, when: float, callback: Callable[[float], None], clock: "VirtualClock"
+    ) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+        self._clock = clock
+
+    def cancel(self) -> bool:
+        """Cancel the timer; returns False if it already fired/cancelled."""
+        if self.cancelled or self.fired:
+            return False
+        self.cancelled = True
+        self._clock._live_timers -= 1
+        return True
+
+    @property
+    def active(self) -> bool:
+        """True while the timer may still fire."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"TimerHandle(when={self.when}, {state})"
+
+
+#: A quiescent-span observer: ``listener(start, end, closed)`` is invoked
+#: for every interval the clock traverses without any callback firing
+#: inside it.  ``closed`` is True when the span includes its ``end``
+#: instant (the destination of an ``advance``), False when a callback is
+#: about to fire at ``end`` (observers must not consume ``end`` yet — the
+#: callback may mutate simulated state at that very instant).
+SpanListener = Callable[[float, float, bool], None]
 
 
 class VirtualClock:
@@ -82,16 +169,21 @@ class VirtualClock:
     instant; both fire any callbacks scheduled in the traversed interval,
     in timestamp order.  Moving backwards raises :class:`ClockError`.
 
-    Scheduled callbacks are how the per-second GPU hardware usage monitor
-    (paper §V-C) samples device state *during* a simulated tool execution:
-    the kernel timing model advances the clock, and the monitor's sampling
-    callback fires once per simulated second.
+    Scheduled callbacks are how fault injectors and retry backoff act
+    *during* a simulated tool execution.  High-frequency observers (the
+    per-second GPU hardware usage monitor, paper §V-C) should not
+    schedule one callback per sample: they register a *span listener*
+    (:meth:`add_span_listener`) and aggregate every quiescent interval in
+    bulk — the simulated state is constant between callback firings by
+    construction, so bulk sampling is exact.
     """
 
     def __init__(self, epoch: float = 0.0) -> None:
         self._now = float(epoch)
-        self._pending: list[tuple[float, int, Callable[[float], None]]] = []
+        self._pending: list[tuple[float, int, TimerHandle]] = []
         self._counter = itertools.count()
+        self._live_timers = 0
+        self._span_listeners: list[SpanListener] = []
 
     @property
     def now(self) -> float:
@@ -111,34 +203,75 @@ class VirtualClock:
         callback observes the clock already advanced to its own scheduled
         instant (so a sampling callback reading ``clock.now`` sees its
         sample timestamp, not the final destination time).
+
+        Span listeners see every quiescent interval in between: an open
+        span ``(now, at)`` before each callback at ``at``, and a final
+        closed span ``(now, when]`` once no callback remains at or before
+        ``when``.
         """
         if when < self._now:
             raise ClockError(f"cannot move clock backwards: {when} < {self._now}")
-        while self._pending and self._pending[0][0] <= when:
-            at, _seq, callback = heapq.heappop(self._pending)
+        pending = self._pending
+        while pending and pending[0][0] <= when:
+            at, _seq, handle = heapq.heappop(pending)
+            if handle.cancelled:
+                continue
+            handle.fired = True
+            self._live_timers -= 1
             # A callback scheduled in the past fires "now" rather than
             # rewinding the clock.
-            self._now = max(self._now, at)
-            callback(self._now)
-        self._now = when
+            at = max(self._now, at)
+            if self._span_listeners:
+                for listener in self._span_listeners:
+                    listener(self._now, at, False)
+            self._now = at
+            handle.callback(self._now)
+        if self._span_listeners:
+            for listener in self._span_listeners:
+                listener(self._now, when, True)
+        # A re-entrant advance inside a callback may already have moved
+        # time beyond ``when``; never rewind.
+        self._now = max(self._now, when)
         return self._now
 
-    def call_at(self, when: float, callback: Callable[[float], None]) -> None:
-        """Schedule ``callback(now)`` to fire when time reaches ``when``."""
-        heapq.heappush(self._pending, (float(when), next(self._counter), callback))
+    def call_at(self, when: float, callback: Callable[[float], None]) -> TimerHandle:
+        """Schedule ``callback(now)`` to fire when time reaches ``when``.
 
-    def call_later(self, delay: float, callback: Callable[[float], None]) -> None:
+        Returns a :class:`TimerHandle`; cancelling it drops the callback
+        without touching the rest of the queue.
+        """
+        handle = TimerHandle(float(when), callback, self)
+        heapq.heappush(self._pending, (handle.when, next(self._counter), handle))
+        self._live_timers += 1
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[[float], None]) -> TimerHandle:
         """Schedule ``callback(now)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise ClockError(f"cannot schedule in the past (delay={delay})")
-        self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback)
+
+    def add_span_listener(self, listener: SpanListener) -> None:
+        """Register a quiescent-span observer (idempotent per listener)."""
+        if listener not in self._span_listeners:
+            self._span_listeners.append(listener)
+
+    def remove_span_listener(self, listener: SpanListener) -> None:
+        """Unregister a span observer (no-op when absent)."""
+        try:
+            self._span_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def pending_count(self) -> int:
-        """Number of callbacks not yet fired."""
-        return len(self._pending)
+        """Number of callbacks not yet fired (cancelled timers excluded)."""
+        return self._live_timers
 
     def cancel_all(self) -> int:
         """Drop all pending callbacks; returns how many were dropped."""
-        n = len(self._pending)
+        n = self._live_timers
+        for _when, _seq, handle in self._pending:
+            handle.cancelled = True
         self._pending.clear()
+        self._live_timers = 0
         return n

@@ -139,16 +139,16 @@ class GPUDevice:
         self.uuid = uuid or f"GPU-SIM{minor_number:04d}-0000-0000-0000-000000000000"
         self.memory = MemoryAllocator(arch.fb_memory_bytes, device_index=minor_number)
         self._processes: dict[int, GPUProcess] = {}
-        #: Instantaneous SM utilisation percentage [0, 100].
-        self.sm_utilization: float = 0.0
-        #: Instantaneous memory-controller utilisation percentage [0, 100].
-        self.mem_utilization: float = 0.0
-        #: Current PCIe generation (devices downclock the link when idle).
-        self.pcie_generation_current: int = 1
+        #: Bumped on every observable mutation (utilisation, link state,
+        #: health, process table); the mapper's snapshot cache keys on the
+        #: host-wide sum of these counters.
+        self._version = 0
+        self._sm_utilization: float = 0.0
+        self._mem_utilization: float = 0.0
+        self._pcie_generation_current: int = 1
+        self._healthy: bool = True
         #: Cumulative busy seconds (kernel execution time) on this device.
         self.busy_seconds: float = 0.0
-        #: False once the device is lost (XID error / fallen off the bus).
-        self.healthy: bool = True
         #: Context admission policy (``nvidia-smi -c``).
         self.compute_mode: ComputeMode = ComputeMode.DEFAULT
         #: Volatile (since-reset) uncorrected ECC error count.
@@ -157,6 +157,59 @@ class GPUDevice:
         #: XID 79 ("GPU has fallen off the bus") accompanies device loss;
         #: XID 48 flags double-bit ECC errors.
         self.xid_events: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # observable state (version-counted for snapshot caching)
+    # ------------------------------------------------------------------ #
+    @property
+    def state_version(self) -> int:
+        """Monotone counter over everything an NVML/SMI probe can observe.
+
+        Any change that could alter a :func:`~repro.core.gpu_usage.get_gpu_usage_snapshot`
+        result bumps this (directly or through the memory allocator's own
+        counter), so equal versions guarantee an identical probe result.
+        """
+        return self._version + self.memory.version
+
+    @property
+    def sm_utilization(self) -> float:
+        """Instantaneous SM utilisation percentage [0, 100]."""
+        return self._sm_utilization
+
+    @sm_utilization.setter
+    def sm_utilization(self, value: float) -> None:
+        self._sm_utilization = value
+        self._version += 1
+
+    @property
+    def mem_utilization(self) -> float:
+        """Instantaneous memory-controller utilisation percentage [0, 100]."""
+        return self._mem_utilization
+
+    @mem_utilization.setter
+    def mem_utilization(self, value: float) -> None:
+        self._mem_utilization = value
+        self._version += 1
+
+    @property
+    def pcie_generation_current(self) -> int:
+        """Current PCIe generation (devices downclock the link when idle)."""
+        return self._pcie_generation_current
+
+    @pcie_generation_current.setter
+    def pcie_generation_current(self, value: int) -> None:
+        self._pcie_generation_current = value
+        self._version += 1
+
+    @property
+    def healthy(self) -> bool:
+        """False once the device is lost (XID error / fallen off the bus)."""
+        return self._healthy
+
+    @healthy.setter
+    def healthy(self, value: bool) -> None:
+        self._healthy = value
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # process lifecycle
@@ -198,6 +251,7 @@ class GPUDevice:
         else:
             self.memory.register_context(pid, context_overhead)
         self._processes[pid] = proc
+        self._version += 1
         self.pcie_generation_current = self.arch.pcie_generation_max
         return proc
 
@@ -206,6 +260,7 @@ class GPUDevice:
         proc = self._processes.get(pid)
         if proc is not None and proc.alive:
             proc.end_time = now
+        self._version += 1
         freed = self.memory.release_pid(pid)
         if not self.compute_processes():
             self.sm_utilization = 0.0
@@ -240,6 +295,7 @@ class GPUDevice:
         if count <= 0:
             raise ValueError("ECC error count must be positive")
         self.ecc_errors += count
+        self._version += 1
         self.xid_events.append((now, xid))
 
     def mark_failed(self, now: float = 0.0, xid: int = 79) -> list[int]:

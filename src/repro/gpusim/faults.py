@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING
 from repro.gpusim.errors import NVMLError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (host owns a plane)
+    from repro.gpusim.clock import TimerHandle
     from repro.gpusim.host import GPUHost
 
 
@@ -243,29 +244,37 @@ class FaultPlane:
     #: How many injected failures each surface actually served.
     nvml_errors_served: int = 0
     container_failures_served: int = 0
+    #: Bumped whenever the pending queues change: a pending (or freshly
+    #: consumed) failure alters what the next probe returns, so the
+    #: mapper's snapshot cache must not serve across such a transition.
+    version: int = 0
 
     def inject_nvml_error(self, code: int, count: int = 1) -> None:
         """Queue ``count`` NVML failures with return code ``code``."""
         for _ in range(count):
             self.pending_nvml_errors.append(code)
+        self.version += 1
 
     def take_nvml_error(self) -> int | None:
         """Consume one pending NVML failure code, if any."""
         if not self.pending_nvml_errors:
             return None
         self.nvml_errors_served += 1
+        self.version += 1
         return self.pending_nvml_errors.popleft()
 
     def inject_container_failure(self, message: str, count: int = 1) -> None:
         """Queue ``count`` container-launch failures."""
         for _ in range(count):
             self.pending_container_failures.append(message)
+        self.version += 1
 
     def take_container_failure(self) -> str | None:
         """Consume one pending container failure message, if any."""
         if not self.pending_container_failures:
             return None
         self.container_failures_served += 1
+        self.version += 1
         return self.pending_container_failures.popleft()
 
     @property
@@ -283,6 +292,7 @@ class FaultInjector:
         #: Events that have actually fired, in firing order.
         self.fired: list[FaultEvent] = []
         self._armed = False
+        self._handles: list[TimerHandle] = []
 
     def arm(self) -> None:
         """Schedule every plan event on the host clock (idempotent).
@@ -295,9 +305,22 @@ class FaultInjector:
             return
         self._armed = True
         for event in self.plan.events:
-            self.host.clock.call_at(
-                event.time, lambda _now, e=event: self._fire(e)
+            self._handles.append(
+                self.host.clock.call_at(
+                    event.time, lambda _now, e=event: self._fire(e)
+                )
             )
+
+    def disarm(self) -> int:
+        """Cancel every not-yet-fired plan event; returns how many.
+
+        Used to tear a scenario down mid-run without leaving dead timers
+        on the clock's heap (a re-armed injector schedules fresh events).
+        """
+        cancelled = sum(1 for handle in self._handles if handle.cancel())
+        self._handles.clear()
+        self._armed = False
+        return cancelled
 
     def _fire(self, event: FaultEvent) -> None:
         now = self.host.clock.now

@@ -115,6 +115,24 @@ class GPUHost:
         #: Pending injected transient failures, consumed by the NVML shim,
         #: ``nvidia-smi`` emulator and container runtimes.
         self.faults = FaultPlane()
+        self._version = 0
+
+    @property
+    def state_version(self) -> int:
+        """Monotone counter over everything an observability probe can see.
+
+        Sums the host's own process-table counter, every device's
+        :attr:`~repro.gpusim.device.GPUDevice.state_version` (utilisation,
+        memory, health, per-device process lists) and the fault plane's
+        counter (pending injected failures change what the next probe
+        returns).  Equal ``(clock.now, state_version)`` pairs therefore
+        guarantee an identical ``nvidia-smi``/NVML result — the key the
+        mapper's snapshot cache relies on.
+        """
+        version = self._version + self.faults.version
+        for device in self.devices:
+            version += device.state_version
+        return version
 
     # ------------------------------------------------------------------ #
     # device access
@@ -198,6 +216,7 @@ class GPUHost:
                 )
                 proc.device_indices.append(dev.minor_number)
         self._processes[pid] = proc
+        self._version += 1
         self.timeline.record(now, "process_start", {"pid": pid, "name": name})
         return proc
 
@@ -210,6 +229,7 @@ class GPUHost:
             raise ProcessError(f"pid {pid} already terminated")
         now = self.clock.now
         proc.end_time = now
+        self._version += 1
         for index in proc.device_indices:
             self.devices[index].detach_process(pid, now=now)
         self.timeline.record(now, "process_end", {"pid": pid, "name": proc.name})

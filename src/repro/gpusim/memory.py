@@ -72,6 +72,13 @@ class MemoryAllocator:
         self._context_overhead: dict[int, int] = {}
         self._ids = itertools.count(1)
         self._peak_used = 0
+        #: Incrementally maintained sum of live allocations + contexts, so
+        #: per-second telemetry reads of :attr:`used` are O(1) instead of
+        #: O(live allocations).
+        self._used_bytes = 0
+        #: Bumped on every mutation; feeds the host state version the
+        #: mapper's snapshot cache is keyed on.
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # queries
@@ -79,9 +86,12 @@ class MemoryAllocator:
     @property
     def used(self) -> int:
         """Bytes currently in use (allocations + per-process contexts)."""
-        return sum(a.size for a in self._live.values()) + sum(
-            self._context_overhead.values()
-        )
+        return self._used_bytes
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (allocs, frees, context changes)."""
+        return self._version
 
     @property
     def free_bytes(self) -> int:
@@ -97,6 +107,16 @@ class MemoryAllocator:
     def used_mib(self) -> int:
         """:attr:`used` in whole MiB, as ``nvidia-smi`` reports it."""
         return self.used // MIB
+
+    def audit_used(self) -> int:
+        """Recompute :attr:`used` from first principles (O(live) walk).
+
+        The hot-path :attr:`used` is an incrementally maintained counter;
+        this is the ground truth the sanitizer checks it against.
+        """
+        return sum(a.size for a in self._live.values()) + sum(
+            self._context_overhead.values()
+        )
 
     def live_allocations(self, pid: int | None = None) -> list[Allocation]:
         """Live allocations, optionally filtered to one owning PID."""
@@ -132,11 +152,16 @@ class MemoryAllocator:
                 overhead_bytes, self.free_bytes, self.device_index
             )
         self._context_overhead[pid] = int(overhead_bytes)
+        self._used_bytes += int(overhead_bytes)
+        self._version += 1
         self._peak_used = max(self._peak_used, self.used)
 
     def release_context(self, pid: int) -> None:
         """Release ``pid``'s context charge (no-op if absent)."""
-        self._context_overhead.pop(pid, None)
+        released = self._context_overhead.pop(pid, None)
+        if released is not None:
+            self._used_bytes -= released
+            self._version += 1
 
     def alloc(self, size: int, owner_pid: int, tag: str = "") -> Allocation:
         """Allocate ``size`` bytes for ``owner_pid``.
@@ -156,6 +181,8 @@ class MemoryAllocator:
             alloc_id=next(self._ids), owner_pid=owner_pid, size=int(size), tag=tag
         )
         self._live[allocation.alloc_id] = allocation
+        self._used_bytes += allocation.size
+        self._version += 1
         self._peak_used = max(self._peak_used, self.used)
         return allocation
 
@@ -174,6 +201,8 @@ class MemoryAllocator:
                 f"{self.device_index}"
             )
         allocation.freed = True
+        self._used_bytes -= live.size
+        self._version += 1
         return live.size
 
     def release_pid(self, pid: int) -> int:
@@ -189,4 +218,7 @@ class MemoryAllocator:
             allocation.freed = True
             freed += allocation.size
         freed += self._context_overhead.pop(pid, 0)
+        if freed:
+            self._used_bytes -= freed
+            self._version += 1
         return freed

@@ -1,0 +1,146 @@
+"""The ``repro bench`` harness: schema stability, CLI, perf guard."""
+
+import json
+import time
+
+import pytest
+
+from repro.benchmarking import (
+    BENCH_SCHEMA,
+    BenchScenario,
+    run_suite,
+    sim_core_suite,
+)
+from repro.benchmarking.harness import run_scenario, validate_report_dict
+from repro.cli import main
+
+
+def tiny_scenario(name="tiny", simulated=10.0):
+    return BenchScenario(
+        name=name,
+        description="does nothing, quickly",
+        setup=lambda: None,
+        run=lambda ctx: simulated,
+        workload={"size": 1},
+    )
+
+
+class TestHarness:
+    def test_repeats_are_timed_individually(self):
+        result = run_scenario(tiny_scenario(), repeats=3)
+        assert result.repeats == 3
+        assert len(result.wall_seconds) == 3
+        assert all(w >= 0 for w in result.wall_seconds)
+
+    def test_percentiles_are_order_statistics(self):
+        result = run_scenario(tiny_scenario(), repeats=5)
+        ordered = sorted(result.wall_seconds)
+        assert result.percentile(0.5) == ordered[2]
+        assert result.percentile(0.95) == ordered[4]
+        assert result.percentile(0.0) == ordered[0]
+
+    def test_throughput_uses_simulated_seconds(self):
+        result = run_scenario(tiny_scenario(simulated=100.0), repeats=2)
+        assert result.sim_seconds_per_wall_second > 0
+        flat = run_scenario(tiny_scenario(simulated=0.0), repeats=2)
+        assert flat.sim_seconds_per_wall_second == 0.0
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(tiny_scenario(), repeats=0)
+
+
+class TestReportSchema:
+    def test_report_validates_against_schema(self):
+        report = run_suite([tiny_scenario()], suite="sim_core", repeats=2)
+        assert validate_report_dict(report.as_dict()) == []
+
+    def test_json_round_trips_and_is_sorted(self):
+        report = run_suite([tiny_scenario()], suite="sim_core", repeats=1)
+        data = json.loads(report.render_json())
+        assert data["schema"] == BENCH_SCHEMA
+        assert list(data) == sorted(data)
+        assert validate_report_dict(data) == []
+
+    def test_validator_flags_problems(self):
+        report = run_suite([tiny_scenario()], suite="sim_core", repeats=1)
+        data = report.as_dict()
+        data["schema"] = "something-else"
+        data["scenarios"][0]["wall_seconds"].pop("p95")
+        problems = validate_report_dict(data)
+        assert any("schema" in p for p in problems)
+        assert any("p95" in p for p in problems)
+
+    def test_scenario_key_set_is_fixed(self):
+        """The deterministic-schema guarantee: key sets never vary."""
+        report = run_suite(
+            [tiny_scenario("a"), tiny_scenario("b")], suite="sim_core", repeats=1
+        )
+        entries = report.as_dict()["scenarios"]
+        expected = {
+            "name", "description", "repeats", "simulated_seconds",
+            "sim_seconds_per_wall_second", "wall_seconds", "workload",
+        }
+        assert all(set(entry) == expected for entry in entries)
+        assert all(
+            set(entry["wall_seconds"]) == {"mean", "p50", "p95", "min", "max"}
+            for entry in entries
+        )
+
+
+class TestSimCoreSuite:
+    def test_quick_and_full_have_identical_scenario_names(self):
+        quick = [s.name for s in sim_core_suite(quick=True)]
+        full = [s.name for s in sim_core_suite(quick=False)]
+        assert quick == full
+        assert "monitor-long-job" in quick and "burst-dispatch" in quick
+
+    def test_quick_suite_runs_and_validates(self):
+        scenarios = [
+            s for s in sim_core_suite(quick=True)
+            if s.name in ("burst-dispatch", "timeline-queries")
+        ]
+        report = run_suite(scenarios, suite="sim_core", repeats=1, quick=True)
+        assert validate_report_dict(report.as_dict()) == []
+
+
+class TestCli:
+    def test_bench_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim_core.json"
+        code = main([
+            "bench", "--quick", "--repeats", "1",
+            "--scenario", "burst-dispatch", "--output", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert validate_report_dict(data) == []
+        assert data["quick"] is True
+        assert "burst-dispatch" in capsys.readouterr().out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("monitor-long-job", "monitor-csv-export",
+                     "burst-dispatch", "chaos-run", "timeline-queries"):
+            assert name in out
+
+    def test_bench_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["bench", "--scenario", "nope", "--output", ""]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+@pytest.mark.perf_guard
+def test_long_job_monitor_stays_fast():
+    """Perf guard: the full 24-simulated-hour, 2-device monitor scenario
+    must stay well under a generous wall ceiling.  The streaming sampler
+    runs it in ~20 ms; the pre-streaming implementation took ~1 s, so a
+    2 s budget only trips on an order-of-magnitude regression, not on a
+    noisy CI box."""
+    scenario = next(
+        s for s in sim_core_suite(quick=False) if s.name == "monitor-long-job"
+    )
+    context = scenario.setup()
+    started = time.perf_counter()
+    scenario.run(context)
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"24h monitor scenario took {elapsed:.2f}s (ceiling 2s)"

@@ -133,3 +133,104 @@ class TestPostProcessing:
         monitor.stop(job)
         report = monitor.statistics_report(job.job_id)
         assert "GPU 0" in report and "GPU 1" in report
+
+
+class TestStopBoundaries:
+    def test_stop_at_exact_tick_boundary_takes_no_duplicate(self, host):
+        """Stopping at an integer second must not record that instant
+        twice: the per-second tick at t=5 already sampled it."""
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(5.0)
+        monitor.stop(job)
+        session = monitor.session_for(job.job_id)
+        for device_index in (0, 1):
+            stamps = [
+                s.time for s in session.samples if s.device_index == device_index
+            ]
+            assert stamps == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+            assert len(set(stamps)) == len(stamps)
+
+    def test_stop_mid_interval_records_final_partial_sample(self, host):
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(2.5)
+        monitor.stop(job)
+        stamps = [
+            s.time
+            for s in monitor.session_for(job.job_id).samples
+            if s.device_index == 0
+        ]
+        assert stamps == [0.0, 1.0, 2.0, 2.5]
+
+    def test_pending_tick_never_appends_after_stop(self, host):
+        """A stopped session's next due tick must not land even when the
+        clock advances exactly onto it."""
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job = make_job()
+        monitor.start(job)
+        host.clock.advance(2.0)
+        monitor.stop(job)
+        count = len(monitor.session_for(job.job_id).samples)
+        host.clock.advance(1.0)  # exactly the tick that was due at t=3
+        host.clock.advance(7.0)
+        assert len(monitor.session_for(job.job_id).samples) == count
+
+    def test_stop_while_another_session_keeps_ticking(self, host):
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job_a, job_b = make_job(), make_job()
+        monitor.start(job_a)
+        monitor.start(job_b)
+        host.clock.advance(2.0)
+        monitor.stop(job_a)
+        frozen = len(monitor.session_for(job_a.job_id).samples)
+        host.clock.advance(3.0)
+        assert len(monitor.session_for(job_a.job_id).samples) == frozen
+        b_stamps = {
+            s.time for s in monitor.session_for(job_b.job_id).samples
+        }
+        assert 5.0 in b_stamps
+
+
+class TestSparkline:
+    def test_width_plus_one_buckets_cover_everything(self):
+        """len == width + 1: integer bucketing must still tile the input
+        exactly — every value lands in exactly one bucket."""
+        width = 32
+        values = [0.0] * width + [100.0]
+        line = GPUUsageMonitor._sparkline(values, width=width)
+        assert len(line) == width
+        assert line[-1] == "@"  # the extra max value was not dropped
+        assert set(line[:-1]) == {" "}
+
+    def test_much_longer_than_width_keeps_the_peak(self):
+        width = 32
+        values = [0.0] * 9_999 + [100.0]
+        line = GPUUsageMonitor._sparkline(values, width=width)
+        assert len(line) == width
+        assert line[-1] == "@"
+        peak_anywhere = [0.0] * 5_000 + [100.0] + [0.0] * 4_999
+        assert "@" in GPUUsageMonitor._sparkline(peak_anywhere, width=width)
+
+    def test_short_input_rendered_verbatim(self):
+        line = GPUUsageMonitor._sparkline([0.0, 50.0, 100.0], width=32)
+        assert line == " =@"
+
+    def test_empty_input(self):
+        assert GPUUsageMonitor._sparkline([], width=32) == ""
+
+    def test_bucket_maxima_are_exact_at_awkward_strides(self):
+        """Place one spike per bucket at stride len/width = 7.03125 and
+        check each output column sees its spike (the float-stride code
+        path this replaces could skip or double-count boundaries)."""
+        width = 32
+        count = 225  # not a multiple of width
+        values = [0.0] * count
+        for i in range(width):
+            lo, hi = (i * count) // width, ((i + 1) * count) // width
+            values[lo] = 100.0
+            assert hi > lo  # every bucket non-empty
+        line = GPUUsageMonitor._sparkline(values, width=width)
+        assert line == "@" * width

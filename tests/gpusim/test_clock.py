@@ -135,3 +135,120 @@ class TestTimeline:
             timeline.record(t, str(i))
         ordered = [e.time for e in timeline]
         assert ordered == sorted(ordered)
+
+    def test_interleaved_inserts_stay_sorted(self):
+        """Regression: an out-of-order record used to leave the sorted
+        flag set once a later in-order append was seen, so queries could
+        observe a partially sorted list.  Interleave both patterns."""
+        timeline = Timeline()
+        for when in (10.0, 5.0, 12.0, 7.0, 12.0, 6.0, 20.0, 1.0):
+            timeline.record(when, f"e{when}")
+        ordered = [e.time for e in timeline]
+        assert ordered == sorted(ordered)
+        assert [e.time for e in timeline.between(5.0, 12.0)] == [
+            5.0, 6.0, 7.0, 10.0,
+        ]
+
+    def test_queries_consistent_after_late_out_of_order_insert(self):
+        timeline = Timeline()
+        for when in range(10):
+            timeline.record(float(when), "tick")
+        timeline.record(4.5, "late")
+        assert [e.label for e in timeline.between(4.0, 6.0)] == [
+            "tick", "late", "tick",
+        ]
+        assert [e.time for e in timeline.labelled("tick")] == [
+            float(when) for when in range(10)
+        ]
+        assert [e.time for e in timeline.labelled("late")] == [4.5]
+
+    def test_labelled_sorted_after_interleave(self):
+        timeline = Timeline()
+        timeline.record(3.0, "x")
+        timeline.record(1.0, "x")
+        timeline.record(2.0, "x")
+        assert [e.time for e in timeline.labelled("x")] == [1.0, 2.0, 3.0]
+
+
+class TestTimerHandles:
+    def test_cancelled_timer_never_fires(self):
+        clock = VirtualClock()
+        fired = []
+        handle = clock.call_at(1.0, lambda now: fired.append(now))
+        assert handle.cancel()
+        clock.advance(5.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        clock = VirtualClock()
+        handle = clock.call_at(1.0, lambda now: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancel_after_fire_returns_false(self):
+        clock = VirtualClock()
+        handle = clock.call_at(1.0, lambda now: None)
+        clock.advance(2.0)
+        assert not handle.active
+        assert not handle.cancel()
+
+    def test_pending_count_tracks_cancellation(self):
+        clock = VirtualClock()
+        keep = clock.call_at(1.0, lambda now: None)
+        drop = clock.call_at(2.0, lambda now: None)
+        assert clock.pending_count() == 2
+        drop.cancel()
+        assert clock.pending_count() == 1
+        drop.cancel()  # idempotent: no double decrement
+        assert clock.pending_count() == 1
+        clock.advance(5.0)
+        assert clock.pending_count() == 0
+        assert not keep.active
+
+    def test_other_timers_unaffected_by_cancel(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(1.0, lambda now: fired.append("a"))
+        clock.call_at(2.0, lambda now: fired.append("b")).cancel()
+        clock.call_at(3.0, lambda now: fired.append("c"))
+        clock.advance(5.0)
+        assert fired == ["a", "c"]
+
+
+class TestSpanListeners:
+    def test_spans_partition_the_advance(self):
+        """Callbacks split an advance into spans; between two firings
+        simulated state cannot change, which is what lets the monitor
+        sample whole spans in bulk."""
+        clock = VirtualClock()
+        spans = []
+        clock.add_span_listener(lambda s, e, closed: spans.append((s, e, closed)))
+        clock.call_at(2.0, lambda now: None)
+        clock.call_at(4.0, lambda now: None)
+        clock.advance(5.0)
+        assert spans == [
+            (0.0, 2.0, False),
+            (2.0, 4.0, False),
+            (4.0, 5.0, True),
+        ]
+
+    def test_plain_advance_is_one_closed_span(self):
+        clock = VirtualClock()
+        spans = []
+        clock.add_span_listener(lambda s, e, closed: spans.append((s, e, closed)))
+        clock.advance(7.5)
+        assert spans == [(0.0, 7.5, True)]
+
+    def test_removed_listener_stops_receiving(self):
+        clock = VirtualClock()
+        spans = []
+
+        def listener(start, end, closed):
+            spans.append((start, end, closed))
+
+        clock.add_span_listener(listener)
+        clock.advance(1.0)
+        clock.remove_span_listener(listener)
+        clock.remove_span_listener(listener)  # absent: no-op
+        clock.advance(1.0)
+        assert spans == [(0.0, 1.0, True)]

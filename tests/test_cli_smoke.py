@@ -18,7 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 EXAMPLES = REPO_ROOT / "examples" / "configs"
 
 ALL_COMMANDS = ("info", "smi", "topo", "racon", "bonito", "cases",
-                "experiment", "trace", "lint", "faults", "verify")
+                "experiment", "trace", "lint", "faults", "verify", "bench")
 
 
 def test_parser_registers_every_command():
