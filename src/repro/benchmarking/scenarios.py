@@ -14,6 +14,12 @@ Each scenario exercises one hot path the fast-path work optimised:
 ``burst-dispatch``
     200 GPU jobs mapped at one clock instant.  With snapshot caching
     the burst costs one ``nvidia-smi`` probe instead of 200.
+``burst-dispatch-traced``
+    The same burst with an enabled tracer recording a ``map.env`` span
+    per decision — compared against ``burst-dispatch`` this measures
+    the tracing overhead a traced deployment pays (the untraced path
+    stays on the zero-cost :data:`~repro.observability.tracing.
+    NULL_TRACER`).
 ``chaos-run``
     The ``k80-die-midrun`` chaos scenario end to end (deployment build,
     fault arming, jobs, survival accounting) — the resilience stack's
@@ -125,7 +131,7 @@ def _csv_scenario(horizon_seconds: int) -> BenchScenario:
     )
 
 
-def _burst_scenario(jobs: int) -> BenchScenario:
+def _burst_scenario(jobs: int, traced: bool = False) -> BenchScenario:
     def setup():
         from repro.core.mapper import GpuComputationMapper
         from repro.galaxy.job import GalaxyJob
@@ -133,7 +139,12 @@ def _burst_scenario(jobs: int) -> BenchScenario:
         from repro.gpusim.host import make_k80_host
 
         host = make_k80_host(boards=1)
-        mapper = GpuComputationMapper(host)
+        tracer = None
+        if traced:
+            from repro.observability.tracing import Tracer
+
+            tracer = Tracer(host.clock)
+        mapper = GpuComputationMapper(host, tracer=tracer)
         tool = parse_tool_xml(_GPU_TOOL_XML)
         return mapper, [GalaxyJob(tool=tool) for _ in range(jobs)]
 
@@ -143,13 +154,19 @@ def _burst_scenario(jobs: int) -> BenchScenario:
             mapper.prepare_environment(job)
         return 0.0
 
+    name = "burst-dispatch-traced" if traced else "burst-dispatch"
+    description = (
+        "map a same-instant burst of GPU jobs through Pseudocode 2 "
+        + ("with an enabled tracer recording every mapping decision "
+           "(the tracing-overhead comparison point)"
+           if traced else "(snapshot cache hot path)")
+    )
     return BenchScenario(
-        name="burst-dispatch",
-        description="map a same-instant burst of GPU jobs through "
-                    "Pseudocode 2 (snapshot cache hot path)",
+        name=name,
+        description=description,
         setup=setup,
         run=run,
-        workload={"jobs": jobs},
+        workload={"jobs": jobs, "traced": traced},
     )
 
 
@@ -215,6 +232,9 @@ def sim_core_suite(quick: bool = False) -> list[BenchScenario]:
         _long_job_scenario(horizon),
         _csv_scenario(horizon),
         _burst_scenario(QUICK_BURST_JOBS if quick else BURST_JOBS),
+        _burst_scenario(
+            QUICK_BURST_JOBS if quick else BURST_JOBS, traced=True
+        ),
         _chaos_scenario(),
         _timeline_scenario(
             QUICK_TIMELINE_RECORDS if quick else TIMELINE_RECORDS,

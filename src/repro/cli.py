@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro import build_deployment, register_paper_tools
@@ -242,23 +243,67 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.workloads.traces import TraceReplayer, generate_trace
+    traced = (
+        args.plan is not None
+        or args.emit is not None
+        or args.format == "json"
+    )
+    if not traced:
+        # The original untraced replay: stats only, zero tracing overhead.
+        from repro.workloads.traces import TraceReplayer, generate_trace
 
-    deployment = _fresh(args.allocation)
-    trace = generate_trace(
-        n_jobs=args.jobs, mean_interarrival_s=args.interarrival, seed=args.seed
-    )
-    replayer = TraceReplayer(
-        deployment, gpu_policy=args.policy, colocation_slowdown=True
-    )
-    result = replayer.replay(trace)
-    print(f"trace: {len(trace)} jobs, mix {trace.tool_counts()}")
-    print(f"allocation={args.allocation} policy={args.policy}")
-    print(f"GPU jobs:             {len(result.gpu_jobs)}")
-    print(f"scattered jobs:       {result.scattered_jobs}")
-    print(f"peak sharing per GPU: {result.max_concurrent_per_gpu}")
-    print(f"mean completion time: {result.mean_completion_time():.2f} s")
-    print(f"mean wait time:       {result.mean_wait_time():.2f} s")
+        deployment = _fresh(args.allocation)
+        trace = generate_trace(
+            n_jobs=args.jobs, mean_interarrival_s=args.interarrival,
+            seed=args.seed,
+        )
+        replayer = TraceReplayer(
+            deployment, gpu_policy=args.policy, colocation_slowdown=True
+        )
+        result = replayer.replay(trace)
+        print(f"trace: {len(trace)} jobs, mix {trace.tool_counts()}")
+        print(f"allocation={args.allocation} policy={args.policy}")
+        print(f"GPU jobs:             {len(result.gpu_jobs)}")
+        print(f"scattered jobs:       {result.scattered_jobs}")
+        print(f"peak sharing per GPU: {result.max_concurrent_per_gpu}")
+        print(f"mean completion time: {result.mean_completion_time():.2f} s")
+        print(f"mean wait time:       {result.mean_wait_time():.2f} s")
+        return 0
+
+    from repro.observability.driver import trace_chaos, trace_workload
+
+    if args.plan is not None:
+        from repro.gpusim.faults import InjectionPlan
+
+        try:
+            plan = InjectionPlan.from_file(args.plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
+        artifacts = trace_chaos(plan)
+    else:
+        artifacts = trace_workload(
+            jobs=args.jobs,
+            interarrival=args.interarrival,
+            seed=args.seed,
+            allocation=args.allocation,
+            policy=args.policy,
+        )
+
+    if args.emit is not None:
+        for path in artifacts.write(args.emit):
+            print(f"wrote {path}", file=sys.stderr)
+
+    if args.format == "json":
+        print(artifacts.summary_json(), end="")
+    else:
+        meta = artifacts.summary["metadata"]
+        print(f"traced {meta['mode']} run: "
+              f"{artifacts.summary['jobs_traced']} jobs, "
+              f"{artifacts.summary['spans']} spans, "
+              f"{artifacts.summary['events']} events")
+        if args.emit is None:
+            print(artifacts.timeline, end="")
     return 0
 
 
@@ -475,6 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--allocation", choices=("pid", "memory", "utilization"),
                        default="pid")
     trace.add_argument("--policy", choices=("place", "wait"), default="place")
+    trace.add_argument("--plan", type=Path, default=None, metavar="FILE",
+                       help="replay a fault-injection plan (JSON) with "
+                            "tracing enabled instead of a Poisson workload")
+    trace.add_argument("--emit", type=Path, default=None, metavar="DIR",
+                       help="write the trace artifacts (Perfetto JSON, "
+                            "Prometheus metrics, per-job timeline, summary) "
+                            "into DIR; implies tracing")
+    trace.add_argument("--format", choices=("text", "json"), default="text",
+                       help="json prints the byte-stable run summary; "
+                            "implies tracing")
     trace.set_defaults(func=cmd_trace)
 
     lint = sub.add_parser(

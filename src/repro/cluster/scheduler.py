@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cluster.node import ComputeNode
+from repro.observability.tracing import NULL_TRACER
 
 
 class JobState(str, enum.Enum):
@@ -58,6 +59,7 @@ class ScheduledJob:
     start_time: float | None = None
     end_time: float | None = None
     _cpu_token: int | None = field(default=None, repr=False)
+    _queue_span: object = field(default=None, repr=False)
 
 
 class ClusterScheduler:
@@ -68,8 +70,12 @@ class ClusterScheduler:
     backfilling) — matching Galaxy's default local-runner worker queue.
     """
 
-    def __init__(self, node: ComputeNode) -> None:
+    def __init__(self, node: ComputeNode, tracer=None) -> None:
         self.node = node
+        #: Optional job tracer; scheduler spans carry no Galaxy job id
+        #: (scheduler ids are a different namespace) and land on the
+        #: deployment track, named after the scheduled unit.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: list[ScheduledJob] = []
         self._jobs: dict[int, ScheduledJob] = {}
         self._ids = itertools.count(1)
@@ -88,6 +94,14 @@ class ClusterScheduler:
         )
         self._queue.append(job)
         self._jobs[job.job_id] = job
+        if self.tracer.enabled:
+            job._queue_span = self.tracer.begin(
+                "sched.queue",
+                "scheduler",
+                unit=name,
+                sched_id=job.job_id,
+                cpu_slots=job.request.cpu_slots,
+            )
         return job
 
     def job(self, job_id: int) -> ScheduledJob:
@@ -122,6 +136,19 @@ class ClusterScheduler:
         job._cpu_token = self.node.reserve_cpus(job.request.cpu_slots)
         job.state = JobState.RUNNING
         job.start_time = self.node.clock.now
+        tracer = self.tracer
+        tracer.end(job._queue_span)
+        job._queue_span = None
+        run_span = (
+            tracer.begin(
+                "sched.run",
+                "scheduler",
+                unit=job.name,
+                sched_id=job.job_id,
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             job.result = job.body()
             job.state = JobState.DONE
@@ -133,6 +160,7 @@ class ClusterScheduler:
             if job._cpu_token is not None:
                 self.node.release_cpus(job._cpu_token)
                 job._cpu_token = None
+            tracer.end(run_span, state=job.state.value)
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, int]:

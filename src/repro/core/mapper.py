@@ -31,6 +31,8 @@ from repro.galaxy.job import GalaxyJob
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR
 from repro.gpusim.host import GPUHost
 from repro.gpusim.nvml import NvmlLibrary
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER
 
 
 @dataclass
@@ -78,6 +80,15 @@ class GpuComputationMapper:
         cached, so retry/degradation accounting under NVML flakes is
         identical with the cache on.  Disable for chaos tests that want
         every probe to actually hit the (possibly flaky) NVML surface.
+    metrics:
+        The :class:`~repro.observability.metrics.MetricsRegistry` the
+        mapper's diagnostics report into (a private registry is created
+        when omitted, so the int-view attributes always work).
+    tracer:
+        Optional :class:`~repro.observability.tracing.Tracer`; when
+        enabled, every ``prepare_environment`` call records a
+        ``map.env`` span carrying the chosen strategy, the allocation
+        outcome, and whether the snapshot came from cache.
     """
 
     def __init__(
@@ -88,6 +99,8 @@ class GpuComputationMapper:
         health: DeviceHealthTracker | None = None,
         retry: BackoffPolicy | None = None,
         cache_snapshots: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         self.host = host
         self.strategy = strategy or PidAllocationStrategy()
@@ -97,11 +110,33 @@ class GpuComputationMapper:
         self.retry = retry
         self.cache_snapshots = cache_snapshots
         self.history: list[MappingRecord] = []
-        #: NVML failures the resilient mapper absorbed (diagnostics).
-        self.degraded_queries: int = 0
-        #: Usage probes that actually ran vs. ones served from cache.
-        self.snapshot_probes: int = 0
-        self.snapshot_cache_hits: int = 0
+        #: The deployment-wide metrics registry all mapper diagnostics
+        #: report into; the legacy int attributes (``degraded_queries``,
+        #: ``snapshot_probes``, ``snapshot_cache_hits``) are read-only
+        #: views over these counters.
+        self.metrics_registry = metrics if metrics is not None else MetricsRegistry()
+        self._c_degraded = self.metrics_registry.counter(
+            "gyan_mapper_degraded_queries_total",
+            "NVML failures the resilient mapper absorbed by degrading to CPU",
+        )
+        self._c_probes = self.metrics_registry.counter(
+            "gyan_mapper_snapshot_probes_total",
+            "GPU usage probes that actually hit the nvidia-smi surface",
+        )
+        self._c_cache_hits = self.metrics_registry.counter(
+            "gyan_mapper_snapshot_cache_hits_total",
+            "GPU usage probes served from the same-instant snapshot cache",
+        )
+        self._c_decisions = self.metrics_registry.counter(
+            "gyan_mapper_decisions_total",
+            "Mapping decisions by strategy and outcome",
+            labels=("strategy", "outcome"),
+        )
+        #: The job lifecycle tracer (NULL_TRACER = disabled, zero cost).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Whether the most recent usage probe was served from cache
+        #: (trace attribute; meaningless before the first probe).
+        self._last_probe_cached = False
         self._count_cache: tuple[tuple[float, int], int] | None = None
         self._snapshot_cache: tuple[tuple[float, int], object] | None = None
         self._nvml = NvmlLibrary(host) if host is not None else None
@@ -112,6 +147,22 @@ class GpuComputationMapper:
     def resilient(self) -> bool:
         """Whether observability failures degrade to CPU instead of raising."""
         return self.health is not None or self.retry is not None
+
+    # -- registry-backed diagnostic views ------------------------------- #
+    @property
+    def degraded_queries(self) -> int:
+        """NVML failures the resilient mapper absorbed (diagnostics)."""
+        return int(self._c_degraded.value)
+
+    @property
+    def snapshot_probes(self) -> int:
+        """Usage probes that actually ran (vs. served from cache)."""
+        return int(self._c_probes.value)
+
+    @property
+    def snapshot_cache_hits(self) -> int:
+        """Usage probes served from the same-instant snapshot cache."""
+        return int(self._c_cache_hits.value)
 
     # ------------------------------------------------------------------ #
     def _query(self, fn):
@@ -144,7 +195,7 @@ class GpuComputationMapper:
             count = self._query(self._nvml.nvmlDeviceGetCount)
         except Exception as exc:
             if self.resilient and is_transient_nvml_error(exc):
-                self.degraded_queries += 1
+                self._c_degraded.inc()
                 return 0  # treat an unobservable host as GPU-less: CPU arm
             raise
         if key is not None:
@@ -165,9 +216,11 @@ class GpuComputationMapper:
         if key is not None and self._snapshot_cache is not None:
             cached_key, cached_snapshot = self._snapshot_cache
             if cached_key == key:
-                self.snapshot_cache_hits += 1
+                self._c_cache_hits.inc()
+                self._last_probe_cached = True
                 return cached_snapshot
-        self.snapshot_probes += 1
+        self._c_probes.inc()
+        self._last_probe_cached = False
         snapshot = self._query(lambda: get_gpu_usage_snapshot(self.host))
         if key is not None:
             self._snapshot_cache = (self._cache_key(), snapshot)
@@ -180,6 +233,14 @@ class GpuComputationMapper:
         ``CUDA_VISIBLE_DEVICES`` when GPU execution was enabled.
         """
         tool = job.tool
+        tracer = self.tracer
+        span = (
+            tracer.begin(
+                "map.env", "mapper", job_id=job.job_id, tool=tool.tool_id
+            )
+            if tracer.enabled
+            else None
+        )
         # -- walk the requirements for the compute/gpu entry ------------- #
         gpu_flag = tool.requires_gpu
         gpu_id_to_query = tool.requested_gpu_ids
@@ -194,10 +255,15 @@ class GpuComputationMapper:
                 snapshot = self._probe_snapshot()
             except Exception as exc:
                 if not (self.resilient and is_transient_nvml_error(exc)):
+                    if span is not None:
+                        tracer.end(span, outcome="error", error=repr(exc))
                     raise
                 # Observability is down but jobs must keep flowing:
                 # degrade this job to the CPU arm.
-                self.degraded_queries += 1
+                self._c_degraded.inc()
+                self._c_decisions.labels(
+                    strategy=self.strategy.name, outcome="degraded"
+                ).inc()
                 env[GPU_ENABLED_ENV_VAR] = "false"
                 self.history.append(
                     MappingRecord(
@@ -208,6 +274,14 @@ class GpuComputationMapper:
                         gpu_enabled=False,
                     )
                 )
+                if span is not None:
+                    tracer.end(
+                        span,
+                        strategy=self.strategy.name,
+                        outcome="degraded",
+                        degraded_query=True,
+                        gpu_enabled=False,
+                    )
                 return env
             if self.health is not None:
                 snapshot = self.health.filter_snapshot(
@@ -225,6 +299,10 @@ class GpuComputationMapper:
             else:
                 env["CUDA_VISIBLE_DEVICES"] = decision.cuda_visible_devices
 
+        self._c_decisions.labels(
+            strategy=self.strategy.name,
+            outcome="gpu" if gpu_enabled else "cpu",
+        ).inc()
         self.history.append(
             MappingRecord(
                 job_id=job.job_id,
@@ -234,6 +312,18 @@ class GpuComputationMapper:
                 gpu_enabled=gpu_enabled,
             )
         )
+        if span is not None:
+            tracer.end(
+                span,
+                strategy=self.strategy.name,
+                outcome="gpu" if gpu_enabled else "cpu",
+                gpu_enabled=gpu_enabled,
+                gpu_ids=decision.gpu_ids if decision is not None else (),
+                reason=decision.reason if decision is not None else "",
+                snapshot_cache_hit=(
+                    self._last_probe_cached if gpu_flag else False
+                ),
+            )
         return env
 
     def last_decision(self) -> AllocationDecision | None:

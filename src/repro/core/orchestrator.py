@@ -34,6 +34,8 @@ from repro.galaxy.runners.local import LocalRunner
 from repro.galaxy.runners.singularity import SingularityJobRunner
 from repro.gpusim.clock import VirtualClock
 from repro.gpusim.faults import FaultInjector, InjectionPlan
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 
 #: The GYAN job configuration — paper Code 2, extended with the concrete
 #: destinations the rules resolve to and the container variants.
@@ -144,6 +146,14 @@ class GyanDeployment:
     #: The health tracker quarantining flaky devices (None when the
     #: deployment was built without resilience).
     health_tracker: DeviceHealthTracker | None = None
+    #: The tracer every layer reports spans into (None when the
+    #: deployment was built without tracing — layers hold NULL_TRACER).
+    tracer: Tracer | None = None
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The deployment-wide typed metrics registry (always present)."""
+        return self.app.metrics_registry
 
     @property
     def gpu_host(self):
@@ -199,6 +209,8 @@ def build_deployment(
     launch_retry: BackoffPolicy | None = None,
     max_resubmit_hops: int | None = None,
     cache_snapshots: bool = True,
+    tracer: Tracer | None = None,
+    metrics_registry: MetricsRegistry | None = None,
 ) -> GyanDeployment:
     """Build the paper's deployment on the given (or default testbed) node.
 
@@ -228,6 +240,15 @@ def build_deployment(
         Forwarded to :class:`GpuComputationMapper`: reuse usage probes
         across same-instant submissions.  Disable for chaos runs that
         need every probe to hit the NVML surface.
+    tracer:
+        A :class:`~repro.observability.tracing.Tracer` (built against
+        this node's clock) threaded through app, mapper and runners.
+        ``None`` (the default) leaves every layer on the zero-overhead
+        :data:`~repro.observability.tracing.NULL_TRACER`.
+    metrics_registry:
+        Share a :class:`~repro.observability.metrics.MetricsRegistry`
+        across deployments (e.g. aggregating a fleet); by default each
+        deployment gets its own.
     """
     node = node or ComputeNode.paper_testbed()
     if resilient:
@@ -244,7 +265,11 @@ def build_deployment(
     if max_resubmit_hops is None:
         max_resubmit_hops = GalaxyApp.DEFAULT_MAX_RESUBMIT_HOPS
     app = GalaxyApp(
-        node=node, job_config=job_config, max_resubmit_hops=max_resubmit_hops
+        node=node,
+        job_config=job_config,
+        max_resubmit_hops=max_resubmit_hops,
+        metrics_registry=metrics_registry,
+        tracer=tracer,
     )
     app.health_tracker = health_tracker
     app.nvml_retry = nvml_retry
@@ -254,6 +279,8 @@ def build_deployment(
         health=health_tracker,
         retry=nvml_retry,
         cache_snapshots=cache_snapshots,
+        metrics=app.metrics_registry,
+        tracer=tracer,
     )
     monitor = (
         GPUUsageMonitor(node.gpu_host)
@@ -328,4 +355,5 @@ def build_deployment(
         docker_runner=docker_runner,
         singularity_runner=singularity_runner,
         health_tracker=health_tracker,
+        tracer=tracer,
     )

@@ -24,6 +24,8 @@ from repro.galaxy.history import History
 from repro.galaxy.job import GalaxyJob, JobState
 from repro.galaxy.job_conf import Destination, JobConfig
 from repro.galaxy.tool_xml import ToolDefinition
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER
 
 
 @dataclass
@@ -105,12 +107,30 @@ class GalaxyApp:
         node: ComputeNode,
         job_config: JobConfig,
         max_resubmit_hops: int = DEFAULT_MAX_RESUBMIT_HOPS,
+        metrics_registry: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         if max_resubmit_hops < 0:
             raise ValueError("max_resubmit_hops must be non-negative")
         self.node = node
         self.job_config = job_config
         self.max_resubmit_hops = max_resubmit_hops
+        #: The deployment-wide typed metrics registry; every layer
+        #: (app, mapper, runners, scheduler) reports into it.
+        self.metrics_registry = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self._c_submitted = self.metrics_registry.counter(
+            "gyan_jobs_submitted_total",
+            "Jobs submitted to the app, by tool",
+            labels=("tool",),
+        )
+        self._c_resubmits = self.metrics_registry.counter(
+            "gyan_resubmits_total",
+            "Resubmission hops taken after device-attributed failures",
+        )
+        #: The job lifecycle tracer (NULL_TRACER = disabled, zero cost).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional :class:`~repro.core.health.DeviceHealthTracker` fed
         #: with device-attributed job failures.
         self.health_tracker: Any = None
@@ -201,12 +221,28 @@ class GalaxyApp:
         job = GalaxyJob(tool=self.tool(tool_id), params=dict(params or {}))
         job.metrics.submit_time = self.node.clock.now
         self.jobs[job.job_id] = job
+        self._c_submitted.labels(tool=job.tool.tool_id).inc()
+        if self.tracer.enabled:
+            self.tracer.begin_job(job.job_id, tool=job.tool.tool_id)
         return job
 
     def map_destination(self, job: GalaxyJob) -> Destination:
         """Step 2: resolve the (possibly dynamic) destination."""
-        destination = self.job_config.resolve(job, self)
+        tracer = self.tracer
+        span = (
+            tracer.begin("map", "job", job_id=job.job_id)
+            if tracer.enabled
+            else None
+        )
+        try:
+            destination = self.job_config.resolve(job, self)
+        except Exception as exc:
+            if span is not None:
+                tracer.end(span, error=repr(exc))
+            raise
         job.metrics.destination_id = destination.destination_id
+        if span is not None:
+            tracer.end(span, destination=destination.destination_id)
         return destination
 
     def runner_for(self, destination: Destination):
@@ -278,6 +314,22 @@ class GalaxyApp:
             current.metrics.resubmitted_as = retry.job_id
             current.metrics.breakdown["resubmitted_as"] = retry.job_id
             chain.append(retry)
+            self._c_resubmits.inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "resubmit",
+                    "job",
+                    job_id=current.job_id,
+                    hop=len(chain) - 1,
+                    retry_job=retry.job_id,
+                    destination=target.destination_id,
+                )
+                self.tracer.begin_job(
+                    retry.job_id,
+                    tool=retry.tool.tool_id,
+                    resubmit_of=current.job_id,
+                    hop=len(chain) - 1,
+                )
             self.runner_for(target).queue_job(retry, target)
             self._notify_health(retry)
             current, dest = retry, target

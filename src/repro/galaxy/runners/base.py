@@ -76,6 +76,7 @@ class LaunchedTool:
     cpu_token: int | None = None
     extra_overhead: float = 0.0
     finisher: Any = None  # runner-specific completion callable
+    run_span: Any = None  # open "run" trace span, closed by finish()
 
 
 class BaseJobRunner:
@@ -112,8 +113,46 @@ class BaseJobRunner:
         self.gpu_mapper = gpu_mapper
         self.usage_monitor = usage_monitor
         self.launch_retry = launch_retry
-        #: Transient launch failures absorbed by requeues (diagnostics).
-        self.requeues: int = 0
+        registry = app.metrics_registry
+        self._c_requeues = registry.counter(
+            "gyan_runner_requeues_total",
+            "Transient launch failures absorbed by requeues, by runner",
+            labels=("runner",),
+        ).labels(runner=self.runner_name)
+        self._c_finished = registry.counter(
+            "gyan_jobs_finished_total",
+            "Jobs reaching a terminal state, by runner and state",
+            labels=("runner", "state"),
+        )
+        self._h_queue = registry.histogram(
+            "gyan_job_queue_seconds",
+            "Virtual seconds between submission and tool start",
+        )
+        self._h_runtime = registry.histogram(
+            "gyan_job_runtime_seconds",
+            "Virtual seconds of tool body execution",
+        )
+
+    @property
+    def requeues(self) -> int:
+        """Transient launch failures absorbed by requeues (diagnostics).
+
+        Registry-backed view over ``gyan_runner_requeues_total``; bump it
+        via :meth:`_record_requeue`, never by assignment.
+        """
+        return int(self._c_requeues.value)
+
+    def _record_requeue(self, job: GalaxyJob | None = None) -> None:
+        """Count one requeue and annotate the trace (if enabled)."""
+        self._c_requeues.inc()
+        tracer = self.app.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "requeue",
+                "runner",
+                job_id=None if job is None else job.job_id,
+                runner=self.runner_name,
+            )
 
     # ------------------------------------------------------------------ #
     # environment and command assembly
@@ -167,28 +206,44 @@ class BaseJobRunner:
     # ------------------------------------------------------------------ #
     def launch(self, job: GalaxyJob, destination: Destination) -> LaunchedTool:
         """QUEUED -> RUNNING: prepare env, assemble command, start process."""
+        tracer = self.app.tracer
         now = self.app.node.clock.now
         job.transition(JobState.QUEUED, now)
         job.metrics.destination_id = destination.destination_id
-        env = self.build_environment(job, destination)
-        job.environment = env
-        argv = self.build_command_line(job, env)
-        executor = self.app.executor_for(argv[0])
-
-        host_process = None
-        gpu_devices: list = []
-        pid = 0
-        if (
-            env.get(GPU_ENABLED_ENV_VAR) == "true"
-            and self.app.gpu_host is not None
-        ):
-            mask = env.get("CUDA_VISIBLE_DEVICES")
-            host_process = self.app.gpu_host.launch_process(
-                name=self._gpu_process_name(argv), cuda_visible_devices=mask
+        launch_span = (
+            tracer.begin(
+                "launch",
+                "runner",
+                job_id=job.job_id,
+                runner=self.runner_name,
+                destination=destination.destination_id,
             )
-            pid = host_process.pid
-            gpu_devices = self.app.gpu_host.visible_devices(mask)
-            job.metrics.gpu_ids = [str(d.minor_number) for d in gpu_devices]
+            if tracer.enabled
+            else None
+        )
+        try:
+            env = self.build_environment(job, destination)
+            job.environment = env
+            argv = self.build_command_line(job, env)
+            executor = self.app.executor_for(argv[0])
+
+            host_process = None
+            gpu_devices: list = []
+            pid = 0
+            if (
+                env.get(GPU_ENABLED_ENV_VAR) == "true"
+                and self.app.gpu_host is not None
+            ):
+                mask = env.get("CUDA_VISIBLE_DEVICES")
+                host_process = self.app.gpu_host.launch_process(
+                    name=self._gpu_process_name(argv), cuda_visible_devices=mask
+                )
+                pid = host_process.pid
+                gpu_devices = self.app.gpu_host.visible_devices(mask)
+                job.metrics.gpu_ids = [str(d.minor_number) for d in gpu_devices]
+        except Exception as exc:
+            tracer.end(launch_span, error=repr(exc))
+            raise
 
         context = ToolExecutionContext(
             node=self.app.node,
@@ -198,8 +253,24 @@ class BaseJobRunner:
             gpu_devices=gpu_devices,
             profiler=self.app.profiler,
         )
-        job.transition(JobState.RUNNING, self.app.node.clock.now)
-        job.metrics.start_time = self.app.node.clock.now
+        now = self.app.node.clock.now
+        job.transition(JobState.RUNNING, now)
+        job.metrics.start_time = now
+        if job.metrics.submit_time is not None:
+            self._h_queue.observe(now - job.metrics.submit_time)
+        run_span = None
+        if launch_span is not None:
+            tracer.end(
+                launch_span,
+                gpu_enabled=env.get(GPU_ENABLED_ENV_VAR) == "true",
+                gpu_ids=list(job.metrics.gpu_ids),
+            )
+            run_span = tracer.begin(
+                "run",
+                "runner",
+                job_id=job.job_id,
+                runner=self.runner_name,
+            )
         if self.usage_monitor is not None:
             self.usage_monitor.start(job)
         return LaunchedTool(
@@ -208,6 +279,7 @@ class BaseJobRunner:
             executor=executor,
             context=context,
             host_process=host_process,
+            run_span=run_span,
         )
 
     def finish(self, launched: LaunchedTool) -> GalaxyJob:
@@ -221,6 +293,7 @@ class BaseJobRunner:
         except Exception as exc:
             self._teardown(launched)
             job.fail(f"tool execution raised: {exc!r}", self.app.node.clock.now)
+            self._finalize_observability(launched, error=repr(exc))
             return job
         self._teardown(launched)
         now = self.app.node.clock.now
@@ -238,10 +311,35 @@ class BaseJobRunner:
             self._collect_outputs(job)
         else:
             job.transition(JobState.ERROR, now)
+        self._finalize_observability(launched)
         collector = getattr(self.app, "metrics_collector", None)
         if collector is not None:
             collector.collect(job)
         return job
+
+    def _finalize_observability(
+        self, launched: LaunchedTool, error: str | None = None
+    ) -> None:
+        """Terminal bookkeeping: histograms, finish counter, span closure."""
+        job = launched.job
+        state = job.state.value
+        self._c_finished.labels(runner=self.runner_name, state=state).inc()
+        if (
+            job.metrics.start_time is not None
+            and job.metrics.end_time is not None
+        ):
+            self._h_runtime.observe(
+                job.metrics.end_time - job.metrics.start_time
+            )
+        tracer = self.app.tracer
+        if tracer.enabled:
+            if error is not None:
+                tracer.end(launched.run_span, state=state, error=error)
+            else:
+                tracer.end(
+                    launched.run_span, state=state, exit_code=job.exit_code
+                )
+            tracer.end_job(job.job_id, state=state)
 
     def _collect_outputs(self, job: GalaxyJob) -> None:
         """Step 4 of the paper's Fig. 2: results land in the history."""
@@ -278,21 +376,41 @@ class BaseJobRunner:
         that exhausts the budget — or hits a transient error with no
         policy configured — fails cleanly instead of crashing the app.
         """
+        tracer = self.app.tracer
+        queue_span = (
+            tracer.begin(
+                "queue",
+                "runner",
+                job_id=job.job_id,
+                runner=self.runner_name,
+                destination=destination.destination_id,
+            )
+            if tracer.enabled
+            else None
+        )
         attempt = 1
         while True:
             try:
                 launched = self.launch(job, destination)
             except Exception as exc:
                 if not is_transient_launch_error(exc) or job.is_terminal:
+                    tracer.end(queue_span, attempts=attempt, error=repr(exc))
                     raise
                 policy = self.launch_retry
                 if policy is None or attempt >= policy.max_attempts:
                     job.fail(
                         f"launch failed: {exc}", self.app.node.clock.now
                     )
+                    tracer.end(queue_span, attempts=attempt, error=repr(exc))
+                    state = job.state.value
+                    self._c_finished.labels(
+                        runner=self.runner_name, state=state
+                    ).inc()
+                    tracer.end_job(job.job_id, state=state, error=repr(exc))
                     return job
-                self.requeues += 1
+                self._record_requeue(job)
                 self.app.node.clock.advance(policy.delay_for(attempt))
                 attempt += 1
                 continue
+            tracer.end(queue_span, attempts=attempt)
             return self.finish(launched)

@@ -110,7 +110,7 @@ class DockerJobRunner(BaseJobRunner):
                     policy = runner.launch_retry
                     if policy is None or attempt >= policy.max_attempts:
                         raise
-                    runner.requeues += 1
+                    runner._record_requeue(job)
                     runner.app.node.clock.advance(policy.delay_for(attempt))
                     attempt += 1
             launched.extra_overhead = result.pull_duration + result.launch_overhead

@@ -21,8 +21,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.cluster.node import ComputeNode
 from repro.core.orchestrator import build_deployment
 from repro.gpusim.faults import InjectionPlan, build_scenario
+from repro.observability.tracing import Tracer
 
 #: The default alternating workload (tool ids cycled over ``jobs``).
 DEFAULT_TOOLS = ("racon", "bonito")
@@ -71,6 +73,10 @@ class ChaosRunResult:
     degraded_queries: int = 0
     end_time: float = 0.0
     jobs_requested: int = 0
+    #: Populated tracer / registry when the run was traced (``trace=True``);
+    #: excluded from :meth:`to_dict` so serialisation is unchanged.
+    tracer: object = field(default=None, repr=False, compare=False)
+    registry: object = field(default=None, repr=False, compare=False)
 
     @property
     def survived(self) -> int:
@@ -125,6 +131,7 @@ def run_chaos(
     jobs: int | None = None,
     resilient: bool | None = None,
     tools: tuple[str, ...] | None = None,
+    trace: bool = False,
 ) -> ChaosRunResult:
     """Drive ``jobs`` tool runs through a deployment under ``plan``.
 
@@ -136,6 +143,12 @@ def run_chaos(
     counterexamples do): its fields supply the defaults here, and also
     pin the job_conf and resubmit hop cap of the deployment.  Explicit
     arguments always win over the embedded spec.
+
+    With ``trace=True`` a :class:`~repro.observability.tracing.Tracer`
+    is bound to the deployment's clock and threaded through every layer;
+    the populated tracer and the deployment's metrics registry come back
+    on :attr:`ChaosRunResult.tracer` / :attr:`~ChaosRunResult.registry`
+    (both excluded from serialisation, so ``to_json`` is unchanged).
     """
     # Imported here: executors pulls in workloads.datasets, so a module-
     # level import would cycle through this package's __init__.
@@ -149,12 +162,16 @@ def run_chaos(
     if tools is None:
         tools = spec.tools if spec is not None else DEFAULT_TOOLS
 
+    node = ComputeNode.paper_testbed()
+    tracer = Tracer(node.clock) if trace else None
     deployment = build_deployment(
+        node=node,
         resilient=resilient,
         job_conf_xml=spec.job_conf_xml if spec is not None else None,
         max_resubmit_hops=(
             spec.max_resubmit_hops if spec is not None else None
         ),
+        tracer=tracer,
     )
     register_paper_tools(deployment.app)
     injector = deployment.inject(plan)
@@ -202,4 +219,6 @@ def run_chaos(
         ]
     result.degraded_queries = deployment.mapper.degraded_queries
     result.end_time = deployment.clock.now
+    result.tracer = tracer
+    result.registry = deployment.app.metrics_registry
     return result

@@ -1,0 +1,186 @@
+"""Golden-file tests: freeze every serialised surface the repo ships.
+
+Each test renders one externally-consumed artifact — the ``nvidia-smi``
+emulator's XML/table output, the JSON of ``lint``/``verify``/``bench``
+and the four ``trace`` artifacts — and compares it byte-for-byte against
+a checked-in snapshot under ``tests/golden/goldens/``.  Schema drift
+(a renamed key, a reordered field, a changed number format) fails CI
+with a readable unified diff instead of a silent consumer break.
+
+To bless an intentional change::
+
+    GYAN_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/golden
+
+then review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+HERE = Path(__file__).parent
+GOLDEN_DIR = HERE / "goldens"
+UPDATE_VAR = "GYAN_UPDATE_GOLDENS"
+
+
+def assert_matches_golden(name: str, actual: str) -> None:
+    """Compare ``actual`` to ``goldens/<name>``, or rewrite it in update mode."""
+    path = GOLDEN_DIR / name
+    if os.environ.get(UPDATE_VAR) == "1":
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file goldens/{name} — generate it with "
+            f"{UPDATE_VAR}=1 python -m pytest tests/golden"
+        )
+    expected = path.read_text(encoding="utf-8")
+    if actual == expected:
+        return
+    diff = "".join(
+        difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"goldens/{name} (checked in)",
+            tofile=f"{name} (this run)",
+        )
+    )
+    pytest.fail(
+        f"output drifted from goldens/{name}:\n{diff}"
+        f"if the change is intentional, bless it with "
+        f"{UPDATE_VAR}=1 python -m pytest tests/golden",
+        pytrace=False,
+    )
+
+
+# --------------------------------------------------------------------- #
+# nvidia-smi emulator
+# --------------------------------------------------------------------- #
+def _busy_host():
+    """A deterministic two-GPU host with processes on both dies."""
+    from repro.gpusim.host import GPUHost
+
+    host = GPUHost(device_count=2)
+    heavy = host.launch_process(
+        name="/usr/bin/racon_gpu", cuda_visible_devices="0"
+    )
+    host.device(0).memory.alloc(2_048 * 1024 * 1024, heavy.pid)
+    host.launch_process(name="/usr/bin/bonito", cuda_visible_devices="1")
+    host.clock.advance(42.5)
+    return host
+
+
+class TestSmiGoldens:
+    def test_query_xml(self):
+        from repro.gpusim.smi import run_query
+
+        stdout, stderr = run_query(_busy_host(), "-q -x")
+        assert stderr == ""
+        assert_matches_golden("smi_query.xml", stdout)
+
+    def test_console_table(self):
+        from repro.gpusim.smi import render_table
+
+        assert_matches_golden("smi_table.txt", render_table(_busy_host()))
+
+    def test_topology_matrix(self):
+        from repro.gpusim.smi import render_topology
+
+        assert_matches_golden("smi_topology.txt", render_topology(_busy_host()))
+
+
+# --------------------------------------------------------------------- #
+# lint / verify JSON
+# --------------------------------------------------------------------- #
+class TestAnalysisGoldens:
+    def test_lint_json(self, monkeypatch):
+        from repro.analysis.linter import LintOptions, lint_paths
+
+        monkeypatch.chdir(HERE)
+        report = lint_paths(["fixtures/lint"], LintOptions())
+        assert report.findings, "the fixture must keep tripping rules"
+        assert_matches_golden("lint.json", report.render_json() + "\n")
+
+    def test_verify_json(self, monkeypatch):
+        from repro.analysis.verifier import Scope, VerifyOptions, verify_paths
+
+        monkeypatch.chdir(HERE)
+        options = VerifyOptions(
+            scope=Scope(devices=2, jobs=2, faults=1, max_replays=60)
+        )
+        report = verify_paths(["fixtures/verify"], options)
+        assert not report.errors
+        assert report.findings, "the fixture must keep tripping passes"
+        assert_matches_golden("verify.json", report.render_json() + "\n")
+
+
+# --------------------------------------------------------------------- #
+# bench JSON (schema only: wall-clock numbers are masked)
+# --------------------------------------------------------------------- #
+def _normalised_bench_json() -> str:
+    from repro.benchmarking import SUITE_NAME, run_suite, sim_core_suite
+
+    report = run_suite(sim_core_suite(quick=True), suite=SUITE_NAME,
+                       repeats=1, quick=True)
+    data = json.loads(report.render_json())
+    for scenario in data["scenarios"]:
+        # Wall-clock figures vary run to run; the schema around them —
+        # key names, scenario names, workload facts, simulated time —
+        # must not.
+        scenario["wall_seconds"] = {
+            key: "<wall>" for key in sorted(scenario["wall_seconds"])
+        }
+        scenario["sim_seconds_per_wall_second"] = "<wall>"
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+class TestBenchGolden:
+    def test_report_schema(self):
+        assert_matches_golden("bench_schema.json", _normalised_bench_json())
+
+
+# --------------------------------------------------------------------- #
+# trace artifacts
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def workload_artifacts():
+    from repro.observability.driver import trace_workload
+
+    return trace_workload(jobs=4, interarrival=2.0, seed=3)
+
+
+class TestTraceGoldens:
+    def test_perfetto(self, workload_artifacts):
+        assert_matches_golden(
+            "trace/trace.perfetto.json", workload_artifacts.perfetto
+        )
+
+    def test_prometheus(self, workload_artifacts):
+        assert_matches_golden(
+            "trace/metrics.prom", workload_artifacts.prometheus
+        )
+
+    def test_timeline(self, workload_artifacts):
+        assert_matches_golden(
+            "trace/timeline.txt", workload_artifacts.timeline
+        )
+
+    def test_summary(self, workload_artifacts):
+        assert_matches_golden(
+            "trace/summary.json", workload_artifacts.summary_json()
+        )
+
+    def test_chaos_summary(self):
+        from repro.observability.driver import trace_chaos
+        from repro.workloads.chaos import resolve_plan
+
+        artifacts = trace_chaos(resolve_plan("k80-die-midrun", seed=2), jobs=4)
+        assert_matches_golden(
+            "trace/chaos_summary.json", artifacts.summary_json()
+        )

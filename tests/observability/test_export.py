@@ -1,0 +1,163 @@
+"""Unit tests for the trace exporters and the artifact driver."""
+
+import json
+
+from repro.gpusim.clock import VirtualClock
+from repro.observability.export import (
+    TRACE_SCHEMA,
+    chrome_trace_dict,
+    render_chrome_trace,
+    render_job_timeline,
+)
+from repro.observability.tracing import Tracer
+
+
+def scripted_tracer(first_job_id: int = 100) -> Tracer:
+    """A small hand-built trace: two jobs plus one resubmit instant."""
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    j1, j2 = first_job_id, first_job_id + 1
+
+    tracer.begin_job(j1, tool="racon")
+    map_span = tracer.begin("map", "job", job_id=j1)
+    tracer.end(map_span, destination="local_gpu")
+    run = tracer.begin("run", "runner", job_id=j1, runner="local")
+    clock.advance(1.5)
+    tracer.end(run, state="error")
+    tracer.instant("resubmit", "job", job_id=j1, retry_job=j2, hop=1)
+    tracer.end_job(j1, state="error")
+
+    tracer.begin_job(j2, tool="racon", resubmit_of=j1)
+    clock.advance(2.0)
+    tracer.end_job(j2, state="ok")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema_and_structure(self):
+        doc = chrome_trace_dict(scripted_tracer(), {"mode": "unit"})
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["mode"] == "unit"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_job_ids_renumbered_from_one(self):
+        doc = chrome_trace_dict(scripted_tracer(first_job_id=500))
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert tids == {1, 2}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names == {"job 1 (racon)", "job 2 (racon)"}
+
+    def test_cross_job_attributes_renumbered(self):
+        doc = chrome_trace_dict(scripted_tracer(first_job_id=500))
+        resubmit = next(
+            e for e in doc["traceEvents"] if e["name"] == "resubmit"
+        )
+        assert resubmit["args"]["retry_job"] == 2
+        root2 = next(
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 2 and e["name"] == "job"
+        )
+        assert root2["args"]["resubmit_of"] == 1
+
+    def test_byte_identical_across_different_absolute_ids(self):
+        # The renumbering contract: the same logical run traced under
+        # different process-global id offsets serialises identically.
+        a = render_chrome_trace(scripted_tracer(first_job_id=10))
+        b = render_chrome_trace(scripted_tracer(first_job_id=9000))
+        assert a == b
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace_dict(scripted_tracer())
+        run = next(
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "run"
+        )
+        assert run["ts"] == 0
+        assert run["dur"] == 1_500_000
+
+    def test_open_spans_closed_and_marked(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        tracer.begin_job(1, tool="bonito")
+        clock.advance(3.0)
+        doc = chrome_trace_dict(tracer)
+        (root,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert root["dur"] == 3_000_000
+        assert root["args"]["unclosed"] is True
+
+    def test_render_is_valid_json(self):
+        text = render_chrome_trace(scripted_tracer())
+        assert text.endswith("\n")
+        json.loads(text)
+
+
+class TestJobTimeline:
+    def test_blocks_per_job_with_headers(self):
+        text = render_job_timeline(scripted_tracer())
+        assert "job 1 (racon) — error in 1.500000s" in text
+        assert "job 2 (racon) — ok in 2.000000s" in text
+        assert "(instant)" in text
+
+    def test_single_job_filter(self):
+        tracer = scripted_tracer(first_job_id=40)
+        text = render_job_timeline(tracer, job_id=40)
+        assert "job 1 (racon)" in text
+        assert "job 2" not in text
+
+    def test_empty_tracer_renders_empty(self):
+        tracer = Tracer(VirtualClock())
+        assert render_job_timeline(tracer) == ""
+
+
+class TestDriver:
+    def test_workload_artifacts_are_reproducible(self):
+        from repro.observability.driver import trace_workload
+
+        a = trace_workload(jobs=5, interarrival=1.0, seed=11)
+        b = trace_workload(jobs=5, interarrival=1.0, seed=11)
+        assert a.perfetto == b.perfetto
+        assert a.prometheus == b.prometheus
+        assert a.timeline == b.timeline
+        assert a.summary_json() == b.summary_json()
+
+    def test_workload_artifacts_content(self):
+        from repro.observability.driver import trace_workload
+
+        artifacts = trace_workload(jobs=5, interarrival=1.0, seed=11)
+        doc = json.loads(artifacts.perfetto)
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["mode"] == "workload"
+        assert artifacts.summary["jobs_traced"] == 5
+        assert "gyan_jobs_submitted_total" in artifacts.prometheus
+
+    def test_write_emits_fixed_filenames(self, tmp_path):
+        from repro.observability.driver import trace_workload
+
+        artifacts = trace_workload(jobs=3, seed=0)
+        written = artifacts.write(tmp_path / "out")
+        assert [p.name for p in written] == [
+            "trace.perfetto.json",
+            "metrics.prom",
+            "timeline.txt",
+            "summary.json",
+        ]
+        for path in written:
+            assert path.read_text()
+
+    def test_chaos_artifacts_are_reproducible(self):
+        from repro.observability.driver import trace_chaos
+        from repro.workloads.chaos import resolve_plan
+
+        a = trace_chaos(resolve_plan("k80-die-midrun", seed=2), jobs=4)
+        b = trace_chaos(resolve_plan("k80-die-midrun", seed=2), jobs=4)
+        assert a.perfetto == b.perfetto
+        assert a.summary_json() == b.summary_json()
+        assert a.summary["metadata"]["mode"] == "chaos"
+        assert a.summary["chaos"]["jobs_requested"] == 4

@@ -23,17 +23,20 @@ def load_example(name: str):
     return module
 
 
-def test_every_example_is_covered():
-    assert set(EXAMPLES) == {
-        "quickstart",
-        "polish_assembly",
-        "basecall_squiggles",
-        "multi_gpu_scheduling",
-        "containerized_tools",
-        "workflow_pipeline",
-        "denovo_assembly",
-        "train_basecaller",
-    }
+def test_examples_directory_is_discovered():
+    # Enumeration is automatic: a new examples/*.py file is picked up by
+    # the parametrised runner below without editing this test.  Guard
+    # only against the glob silently matching nothing.
+    assert "quickstart" in EXAMPLES
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_declares_the_contract(name):
+    source = (EXAMPLES_DIR / f"{name}.py").read_text(encoding="utf-8")
+    assert "def main(" in source, f"example {name} must define main()"
+    assert '"""' in source.lstrip().splitlines()[0] or source.lstrip(
+    ).startswith("#!"), f"example {name} must open with a docstring"
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
