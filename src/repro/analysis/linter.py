@@ -197,7 +197,12 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
             continue
         findings: list[Finding] = []
         if kind == "python":
+            # Imported lazily: the race package's driver imports this
+            # module, so a top-level import would cycle.
+            from repro.analysis.race.det_rules import analyze_det_text
+
             findings = analyze_source_text(text, str(path))
+            findings.extend(analyze_det_text(text, str(path)))
         elif kind == "job_conf":
             config, findings = analyze_job_conf_text(text, str(path), ctx)
             if config is not None:
@@ -272,11 +277,23 @@ def _job_conf_for(tool_path: Path, job_confs: dict[Path, object]):
 
 
 def list_rules_text() -> str:
-    """The ``--list-rules`` catalogue."""
+    """The ``--list-rules`` catalogue, grouped by rule family.
+
+    Each family header carries its one-line doc from the registry, and
+    each rule prints its id, default severity, and title, followed by a
+    wrapped first sentence of its catalogue description.
+    """
+    from repro.analysis.rules import FAMILY_DOCS, FAMILY_ORDER
+
     lines = []
-    for family in ("config", "source", "sanitizer", "verifier"):
-        lines.append(f"[{family}]")
+    for family in FAMILY_ORDER:
+        doc = FAMILY_DOCS.get(family, "")
+        lines.append(f"[{family}]" + (f"  {doc}" if doc else ""))
         for rule in REGISTRY.family(family):
-            lines.append(f"  {rule.rule_id}  {str(rule.severity):<7}  {rule.title}")
+            lines.append(
+                f"  {rule.rule_id}  {str(rule.severity):<7}  {rule.title}"
+            )
+            sentence = rule.description.split(". ")[0].rstrip(".") + "."
+            lines.append(f"           {sentence}")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

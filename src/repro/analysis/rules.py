@@ -21,7 +21,7 @@ class LintRule:
     rule_id: str
     title: str
     severity: Severity
-    family: str  # 'config' | 'source' | 'sanitizer' | 'verifier'
+    family: str  # see FAMILY_ORDER
     description: str
 
     def finding(
@@ -73,6 +73,21 @@ class RuleRegistry:
 
 #: The default registry every analyzer registers into at import time.
 REGISTRY = RuleRegistry()
+
+#: Catalogue order of rule families, with the one-line doc the CLI's
+#: grouped ``--list-rules`` prints under each family header.
+FAMILY_ORDER: tuple[str, ...] = (
+    "config", "source", "sanitizer", "verifier", "determinism",
+)
+FAMILY_DOCS: dict[str, str] = {
+    "config": "GYAN1xx — static checks on job_conf/tool XML",
+    "source": "SRC2xx — static checks on Python source",
+    "sanitizer": "SIM3xx — runtime invariants fired by simsan",
+    "verifier": "VER2xx/3xx/4xx — whole-deployment verification "
+                "(python -m repro verify)",
+    "determinism": "DET4xx static + DET5xx schedule-permutation checks "
+                   "(python -m repro race)",
+}
 
 
 def _rule(rule_id: str, title: str, severity: Severity, family: str, description: str) -> LintRule:
@@ -300,4 +315,62 @@ VER403 = _rule(
     "chain made progress every hop but the cap starved it short of the "
     "destination that would have run it. The counterexample chaos plan "
     "reproduces it.",
+)
+
+# --------------------------------------------------------------------- #
+# determinism (DET4xx static, DET5xx dynamic) — fired by
+# ``python -m repro race`` and the lint source pass
+# --------------------------------------------------------------------- #
+DET401 = _rule(
+    "DET401", "unordered iteration flows into deterministic output",
+    Severity.ERROR, "determinism",
+    "A dict/set is iterated without sorting and the values flow into an "
+    "exporter, telemetry record, or mapper decision in the same scope; "
+    "Python set ordering (and pre-3.7 dict ordering) varies across "
+    "processes, so byte-identical artifacts cannot be guaranteed. Sort "
+    "the iterable (sorted(...) / sort_keys=True) before it reaches "
+    "output.",
+)
+DET402 = _rule(
+    "DET402", "unseeded entropy in simulation code", Severity.ERROR,
+    "determinism",
+    "random.*, uuid.uuid1/uuid4, time.time(), or os.urandom is called in "
+    "simulation code without a seeded generator: replays of the same "
+    "scenario diverge. Thread a random.Random(seed) through, or derive "
+    "values from the virtual clock.",
+)
+DET403 = _rule(
+    "DET403", "same-timestamp timers without a tie-break key",
+    Severity.WARNING, "determinism",
+    "Two or more timer registrations can land on the same virtual "
+    "instant with no explicit tie-break key, so their relative firing "
+    "order is only pinned by registration order — fragile under "
+    "refactoring and unshardable. Pass call_at(..., key=...) to make "
+    "the intended order part of the contract.",
+)
+DET404 = _rule(
+    "DET404", "float accumulation over an unordered iterable",
+    Severity.WARNING, "determinism",
+    "A floating-point sum/accumulation folds over a set or other "
+    "unordered iterable; float addition is not associative, so the "
+    "total depends on iteration order. Sort the operands (or use "
+    "math.fsum over a sorted sequence).",
+)
+DET501 = _rule(
+    "DET501", "artifact diverges under a permuted tie schedule",
+    Severity.ERROR, "determinism",
+    "The happens-before checker replayed a scenario with one same-"
+    "instant timer tie flipped and an emitted artifact changed bytes: "
+    "the simulation's output depends on an ordering nothing pins. The "
+    "finding carries the minimal tie-flip schedule; replay it with "
+    "`python -m repro race --schedule`.",
+)
+DET502 = _rule(
+    "DET502", "conflicting same-instant callbacks share no tie-break key",
+    Severity.WARNING, "determinism",
+    "Two callbacks fired at the same virtual instant and their recorded "
+    "read/write footprints on simulator state conflict, but neither "
+    "carries an explicit tie-break key. Artifacts happened to match "
+    "under every permutation tried, yet the order is load-bearing — "
+    "pin it with call_at(..., key=...).",
 )

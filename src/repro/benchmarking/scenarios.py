@@ -24,6 +24,13 @@ Each scenario exercises one hot path the fast-path work optimised:
     The ``k80-die-midrun`` chaos scenario end to end (deployment build,
     fault arming, jobs, survival accounting) — the resilience stack's
     integration cost.
+``race-overhead``
+    The ``chaos-run`` workload replayed under gyan-race's
+    :class:`~repro.analysis.race.clock_shim.PermutingClock` with an
+    installed :class:`~repro.gpusim.footprint.FootprintRecorder` —
+    compared against ``chaos-run`` this measures the instrumentation
+    cost a race-checked run pays (the unchecked path keeps the
+    ``_RECORDER is None`` fast guard).
 ``timeline-queries``
     Interleaved out-of-order :class:`~repro.gpusim.clock.Timeline`
     records followed by ``between``/``labelled`` range queries — the
@@ -192,6 +199,35 @@ def _chaos_scenario() -> BenchScenario:
     )
 
 
+def _race_overhead_scenario() -> BenchScenario:
+    def setup():
+        from repro.workloads.chaos import resolve_plan
+
+        return resolve_plan(scenario="k80-die-midrun", seed=0)
+
+    def run(plan) -> float:
+        from repro.analysis.race.clock_shim import PermutingClock
+        from repro.gpusim.footprint import FootprintRecorder
+        from repro.workloads.chaos import run_chaos
+
+        recorder = FootprintRecorder()
+        clock = PermutingClock(recorder=recorder)
+        with recorder.installed():
+            run_chaos(plan, clock=clock)
+        return 0.0
+
+    return BenchScenario(
+        name="race-overhead",
+        description="chaos-run under the permuting clock with footprint "
+                    "recording installed (race-instrumentation overhead "
+                    "comparison point)",
+        setup=setup,
+        run=run,
+        workload={"scenario": "k80-die-midrun", "seed": 0,
+                  "instrumented": True},
+    )
+
+
 def _timeline_scenario(records: int, queries: int) -> BenchScenario:
     def setup():
         from repro.gpusim.clock import Timeline
@@ -236,6 +272,7 @@ def sim_core_suite(quick: bool = False) -> list[BenchScenario]:
             QUICK_BURST_JOBS if quick else BURST_JOBS, traced=True
         ),
         _chaos_scenario(),
+        _race_overhead_scenario(),
         _timeline_scenario(
             QUICK_TIMELINE_RECORDS if quick else TIMELINE_RECORDS,
             QUICK_TIMELINE_QUERIES if quick else TIMELINE_QUERIES,

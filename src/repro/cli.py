@@ -33,6 +33,12 @@ Commands
     Time the simulation-core hot paths (long-job monitor, burst
     dispatch, chaos run, timeline queries) on the wall clock and emit
     ``BENCH_sim_core.json`` — the ROADMAP's perf-trajectory artifact.
+``race``
+    gyan-race: the determinism checker — static DET4xx AST rules over
+    Python sources plus a dynamic happens-before pass that permutes
+    same-instant timer ties in the trace/chaos scenarios and
+    byte-diffs the artifacts (DET5xx, with replayable minimal
+    tie-flip schedules via ``--schedule``).
 """
 
 from __future__ import annotations
@@ -434,6 +440,51 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code(options.fail_on)
 
 
+def cmd_race(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import Severity
+    from repro.analysis.linter import EXIT_CLEAN, EXIT_USAGE
+    from repro.analysis.race.checker import get_scenario, scenario_names
+    from repro.analysis.race.driver import (
+        RaceOptions,
+        run_race,
+        run_schedule_replay,
+    )
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            tag = "" if scenario.default else "  [seeded-bad]"
+            print(f"{name:<18}{scenario.description}{tag}")
+        return EXIT_CLEAN
+
+    fail_on = Severity.from_name(args.fail_on)
+    if args.schedule is not None:
+        report = run_schedule_replay(args.schedule)
+    else:
+        if args.static_only and args.dynamic_only:
+            print("race: --static-only and --dynamic-only are mutually "
+                  "exclusive", file=sys.stderr)
+            return EXIT_USAGE
+        options = RaceOptions(
+            paths=args.paths,
+            scenarios=args.scenarios,
+            permutations=args.permutations,
+            seed=args.seed,
+            run_static=not args.dynamic_only,
+            run_dynamic=not args.static_only,
+            fail_on=fail_on,
+            output_format=args.format,
+        )
+        report = run_race(options)
+    for error in report.errors:
+        print(f"race: {error}", file=sys.stderr)
+    if args.format == "json":
+        print(report.render_json(), end="")
+    else:
+        print(report.render_text())
+    return report.exit_code(fail_on)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchmarking import SUITE_NAME, run_suite, sim_core_suite
 
@@ -610,6 +661,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list scenario names and exit")
     bench.set_defaults(func=cmd_bench)
+
+    race = sub.add_parser(
+        "race",
+        help="determinism checker: DET4xx static rules + happens-before "
+             "tie permutation (DET5xx)",
+    )
+    race.add_argument("paths", nargs="*",
+                      help="files or directories for the static DET4xx "
+                           "pass (.py sources; default: none)")
+    race.add_argument("--scenario", action="append", dest="scenarios",
+                      metavar="NAME",
+                      help="permute only the named scenario (repeatable; "
+                           "default: every non-seeded-bad scenario)")
+    race.add_argument("--permutations", type=int, default=3,
+                      help="max seeded permutations tried per "
+                           "non-commutative tie (default 3)")
+    race.add_argument("--seed", type=int, default=0,
+                      help="seed for the tie-permutation generator")
+    race.add_argument("--schedule", type=Path, default=None, metavar="FILE",
+                      help="replay a saved gyan.race/v1 tie-flip schedule "
+                           "and report whether the divergence reproduces")
+    race.add_argument("--static-only", action="store_true",
+                      help="run only the DET4xx AST pass")
+    race.add_argument("--dynamic-only", action="store_true",
+                      help="run only the happens-before scenario pass")
+    race.add_argument("--format", choices=("text", "json"), default="text")
+    race.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="lowest severity that makes the exit code "
+                           "nonzero")
+    race.add_argument("--list-scenarios", action="store_true",
+                      help="list dynamic scenario names and exit")
+    race.set_defaults(func=cmd_race)
 
     return parser
 

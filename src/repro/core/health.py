@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.gpu_usage import GpuUsageSnapshot
+from repro.gpusim import footprint as _footprint
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,8 @@ class DeviceHealthTracker:
         keeps erroring never gets re-admitted.
         """
         device_id = str(device_id)
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write("health")
         self.events.append(HealthEvent(now, device_id, "error", note))
         times = self._error_times.setdefault(device_id, [])
         times.append(now)
@@ -84,6 +87,8 @@ class DeviceHealthTracker:
     def record_device_lost(self, device_id: str, now: float, note: str = "") -> None:
         """A device fell off the bus: quarantine immediately."""
         device_id = str(device_id)
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write("health")
         self.events.append(HealthEvent(now, device_id, "device_lost", note))
         self._quarantine(device_id, now, note or "device lost (XID)")
 
@@ -98,11 +103,16 @@ class DeviceHealthTracker:
     # ------------------------------------------------------------------ #
     def is_quarantined(self, device_id: str, now: float) -> bool:
         """Whether ``device_id`` is still serving its cool-down at ``now``."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read("health")
         until = self._quarantined_until.get(str(device_id))
         if until is None:
             return False
         if now >= until:
-            # Cool-down served: re-admit lazily at observation time.
+            # Cool-down served: re-admit lazily at observation time — a
+            # mutation, so it counts as a write for conflict analysis.
+            if _footprint._RECORDER is not None:
+                _footprint._RECORDER.write("health")
             del self._quarantined_until[str(device_id)]
             self.events.append(
                 HealthEvent(now, str(device_id), "readmit", "cool-down served")
@@ -124,6 +134,8 @@ class DeviceHealthTracker:
         quarantined ids plus each device's recent-error count — is that
         equivalence, deliberately blind to absolute event times.
         """
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read("health")
         quarantined = tuple(self.quarantined_ids(now))
         error_counts = tuple(
             sorted(

@@ -35,6 +35,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.gpusim import footprint as _footprint
 from repro.gpusim.errors import ClockError
 
 
@@ -77,6 +78,8 @@ class Timeline:
 
     def record(self, time: float, label: str, payload: Any = None) -> TimelineEvent:
         """Append an event at ``time`` and return it."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write("timeline")
         event = TimelineEvent(time=time, seq=next(self._counter), label=label, payload=payload)
         events = self._events
         if not events or not event < events[-1]:
@@ -104,12 +107,16 @@ class Timeline:
 
     def between(self, start: float, end: float) -> list[TimelineEvent]:
         """Events with ``start <= time < end``, chronologically."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read("timeline")
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
         return self._events[lo:hi]
 
     def labelled(self, label: str) -> list[TimelineEvent]:
         """All events carrying exactly ``label``."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read("timeline")
         return list(self._by_label.get(label, ()))
 
 
@@ -123,15 +130,21 @@ class TimerHandle:
     callbacks behind.
     """
 
-    __slots__ = ("when", "callback", "cancelled", "fired", "_clock")
+    __slots__ = ("when", "callback", "cancelled", "fired", "key", "_clock")
 
     def __init__(
-        self, when: float, callback: Callable[[float], None], clock: "VirtualClock"
+        self,
+        when: float,
+        callback: Callable[[float], None],
+        clock: "VirtualClock",
+        key: str = "",
     ) -> None:
         self.when = when
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        #: Explicit tie-break key; see :meth:`VirtualClock.call_at`.
+        self.key = key
         self._clock = clock
 
     def cancel(self) -> bool:
@@ -180,7 +193,11 @@ class VirtualClock:
 
     def __init__(self, epoch: float = 0.0) -> None:
         self._now = float(epoch)
-        self._pending: list[tuple[float, int, TimerHandle]] = []
+        #: Heap entries are ``(when, key, seq, handle)``: same-instant
+        #: callbacks fire ordered by explicit tie-break key first, then
+        #: strictly by registration order — the determinism contract
+        #: gyan-race's DET403 rule and the clock property tests pin.
+        self._pending: list[tuple[float, str, int, TimerHandle]] = []
         self._counter = itertools.count()
         self._live_timers = 0
         self._span_listeners: list[SpanListener] = []
@@ -213,7 +230,7 @@ class VirtualClock:
             raise ClockError(f"cannot move clock backwards: {when} < {self._now}")
         pending = self._pending
         while pending and pending[0][0] <= when:
-            at, _seq, handle = heapq.heappop(pending)
+            at, _key, _seq, handle = heapq.heappop(pending)
             if handle.cancelled:
                 continue
             handle.fired = True
@@ -234,22 +251,38 @@ class VirtualClock:
         self._now = max(self._now, when)
         return self._now
 
-    def call_at(self, when: float, callback: Callable[[float], None]) -> TimerHandle:
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[[float], None],
+        key: str = "",
+    ) -> TimerHandle:
         """Schedule ``callback(now)`` to fire when time reaches ``when``.
+
+        Same-instant callbacks fire ordered by ``key`` first, then by
+        registration order.  An explicit ``key`` declares the intended
+        order of a timestamp tie as part of the caller's contract —
+        gyan-race treats keyed ties as pinned and only permutes unkeyed
+        ones (see ``docs/determinism.md``).
 
         Returns a :class:`TimerHandle`; cancelling it drops the callback
         without touching the rest of the queue.
         """
-        handle = TimerHandle(float(when), callback, self)
-        heapq.heappush(self._pending, (handle.when, next(self._counter), handle))
+        handle = TimerHandle(float(when), callback, self, key=key)
+        heapq.heappush(self._pending, (handle.when, key, next(self._counter), handle))
         self._live_timers += 1
         return handle
 
-    def call_later(self, delay: float, callback: Callable[[float], None]) -> TimerHandle:
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[float], None],
+        key: str = "",
+    ) -> TimerHandle:
         """Schedule ``callback(now)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise ClockError(f"cannot schedule in the past (delay={delay})")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, key=key)
 
     def add_span_listener(self, listener: SpanListener) -> None:
         """Register a quiescent-span observer (idempotent per listener)."""
@@ -270,7 +303,7 @@ class VirtualClock:
     def cancel_all(self) -> int:
         """Drop all pending callbacks; returns how many were dropped."""
         n = self._live_timers
-        for _when, _seq, handle in self._pending:
+        for _when, _key, _seq, handle in self._pending:
             handle.cancelled = True
         self._pending.clear()
         self._live_timers = 0

@@ -304,10 +304,16 @@ class FaultInjector:
         if self._armed:
             return
         self._armed = True
-        for event in self.plan.events:
+        # Explicit tie-break keys: two plan events landing on the same
+        # virtual instant fire in plan order *by contract*, not by the
+        # accident of registration order — gyan-race (DET403) treats
+        # keyed ties as pinned and never permutes them.
+        for index, event in enumerate(self.plan.events):
             self._handles.append(
                 self.host.clock.call_at(
-                    event.time, lambda _now, e=event: self._fire(e)
+                    event.time,
+                    lambda _now, e=event: self._fire(e),
+                    key=f"fault:{index:04d}",
                 )
             )
 

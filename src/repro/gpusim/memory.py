@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.gpusim import footprint as _footprint
 from repro.gpusim.errors import DeviceOutOfMemoryError, DoubleFreeError
 
 MIB = 1024 * 1024
@@ -79,6 +80,8 @@ class MemoryAllocator:
         #: Bumped on every mutation; feeds the host state version the
         #: mapper's snapshot cache is keyed on.
         self._version = 0
+        #: Footprint key reported to gyan-race's happens-before checker.
+        self._footprint_key = f"alloc:{device_index}"
 
     # ------------------------------------------------------------------ #
     # queries
@@ -86,6 +89,8 @@ class MemoryAllocator:
     @property
     def used(self) -> int:
         """Bytes currently in use (allocations + per-process contexts)."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read(self._footprint_key)
         return self._used_bytes
 
     @property
@@ -127,6 +132,8 @@ class MemoryAllocator:
 
     def owner_pids(self) -> set[int]:
         """PIDs that currently hold memory (allocations or a context)."""
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.read(self._footprint_key)
         return {a.owner_pid for a in self._live.values()} | set(self._context_overhead)
 
     def used_by(self, pid: int) -> int:
@@ -151,6 +158,8 @@ class MemoryAllocator:
             raise DeviceOutOfMemoryError(
                 overhead_bytes, self.free_bytes, self.device_index
             )
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write(self._footprint_key)
         self._context_overhead[pid] = int(overhead_bytes)
         self._used_bytes += int(overhead_bytes)
         self._version += 1
@@ -160,6 +169,8 @@ class MemoryAllocator:
         """Release ``pid``'s context charge (no-op if absent)."""
         released = self._context_overhead.pop(pid, None)
         if released is not None:
+            if _footprint._RECORDER is not None:
+                _footprint._RECORDER.write(self._footprint_key)
             self._used_bytes -= released
             self._version += 1
 
@@ -177,6 +188,8 @@ class MemoryAllocator:
             raise ValueError(f"allocation size must be positive, got {size}")
         if size > self.free_bytes:
             raise DeviceOutOfMemoryError(size, self.free_bytes, self.device_index)
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write(self._footprint_key)
         allocation = Allocation(
             alloc_id=next(self._ids), owner_pid=owner_pid, size=int(size), tag=tag
         )
@@ -194,6 +207,8 @@ class MemoryAllocator:
         DoubleFreeError
             If the allocation was already freed (or never made here).
         """
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write(self._footprint_key)
         live = self._live.pop(allocation.alloc_id, None)
         if live is None or allocation.freed:
             raise DoubleFreeError(
@@ -212,6 +227,8 @@ class MemoryAllocator:
         which is what makes a GPU "available" again to the paper's
         Process-ID strategy.
         """
+        if _footprint._RECORDER is not None:
+            _footprint._RECORDER.write(self._footprint_key)
         freed = 0
         for alloc_id in [i for i, a in self._live.items() if a.owner_pid == pid]:
             allocation = self._live.pop(alloc_id)

@@ -99,19 +99,24 @@ def trace_workload(
     seed: int = 0,
     allocation: str = "pid",
     policy: str = "place",
+    clock=None,
 ) -> TraceArtifacts:
     """Replay a seeded Poisson arrival trace with tracing enabled.
 
     Mirrors the ``python -m repro trace`` defaults; every timestamp comes
     from the deployment's virtual clock and every random draw from the
     seeded generator, so equal arguments yield byte-identical artifacts.
+
+    ``clock`` injects a pre-built virtual clock into the testbed — the
+    determinism checker passes its permuting shim here; everyone else
+    leaves it None.
     """
     from repro.cluster.node import ComputeNode
     from repro.core.orchestrator import build_deployment
     from repro.tools.executors import register_paper_tools
     from repro.workloads.traces import TraceReplayer, generate_trace
 
-    node = ComputeNode.paper_testbed()
+    node = ComputeNode.paper_testbed(clock=clock)
     tracer = Tracer(node.clock)
     deployment = build_deployment(
         node=node, allocation_strategy=allocation, tracer=tracer

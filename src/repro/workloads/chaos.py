@@ -132,6 +132,7 @@ def run_chaos(
     resilient: bool | None = None,
     tools: tuple[str, ...] | None = None,
     trace: bool = False,
+    clock=None,
 ) -> ChaosRunResult:
     """Drive ``jobs`` tool runs through a deployment under ``plan``.
 
@@ -149,6 +150,9 @@ def run_chaos(
     the populated tracer and the deployment's metrics registry come back
     on :attr:`ChaosRunResult.tracer` / :attr:`~ChaosRunResult.registry`
     (both excluded from serialisation, so ``to_json`` is unchanged).
+
+    ``clock`` injects a pre-built virtual clock into the testbed — the
+    determinism checker passes its permuting shim here.
     """
     # Imported here: executors pulls in workloads.datasets, so a module-
     # level import would cycle through this package's __init__.
@@ -162,7 +166,7 @@ def run_chaos(
     if tools is None:
         tools = spec.tools if spec is not None else DEFAULT_TOOLS
 
-    node = ComputeNode.paper_testbed()
+    node = ComputeNode.paper_testbed(clock=clock)
     tracer = Tracer(node.clock) if trace else None
     deployment = build_deployment(
         node=node,

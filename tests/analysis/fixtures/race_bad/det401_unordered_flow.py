@@ -1,0 +1,15 @@
+"""Seeded-bad fixture: DET401 — unordered iteration into output sinks."""
+
+
+def export_device_names(fh):
+    # Set iteration straight into a file write: byte order is the set's.
+    for name in {"gpu0", "gpu1", "gpu2"}:
+        fh.write(name + "\n")
+
+
+def export_metrics(samples: dict, fh):
+    import json
+
+    # Dict iteration serialised per-entry without sort_keys.
+    for label, value in samples.items():
+        fh.write(json.dumps({label: value}))

@@ -1,0 +1,22 @@
+"""Seeded-bad fixture: DET402 — unseeded entropy in simulation code."""
+
+import os
+import random
+import uuid
+from random import choice
+
+
+def pick_device(devices):
+    return random.choice(devices)
+
+
+def job_token():
+    return str(uuid.uuid4())
+
+
+def salt():
+    return os.urandom(8)
+
+
+def pick_tool(tools):
+    return choice(tools)

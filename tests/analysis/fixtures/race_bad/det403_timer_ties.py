@@ -1,0 +1,16 @@
+"""Seeded-bad fixture: DET403 — same-timestamp timers without keys."""
+
+DEADLINE = 30.0
+
+
+def arm_monitors(clock, sample, flush):
+    # Two distinct unkeyed registrations on one instant: firing order is
+    # pinned only by registration order.
+    clock.call_at(DEADLINE, sample)
+    clock.call_at(DEADLINE, flush)
+
+
+def arm_probes(clock, probes: set):
+    # Registration order follows set order — itself unordered.
+    for probe in {p for p in probes}:
+        clock.call_later(5.0, probe)

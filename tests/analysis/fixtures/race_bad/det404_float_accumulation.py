@@ -1,0 +1,12 @@
+"""Seeded-bad fixture: DET404 — float accumulation over a set."""
+
+
+def total_power(watts_per_device: dict) -> float:
+    return sum({w * 1.05 for w in watts_per_device.values()})
+
+
+def total_runtime(durations: set) -> float:
+    total = 0.0
+    for duration in {d for d in durations}:
+        total += duration
+    return total
