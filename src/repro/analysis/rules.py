@@ -83,7 +83,7 @@ FAMILY_DOCS: dict[str, str] = {
     "config": "GYAN1xx — static checks on job_conf/tool XML",
     "source": "SRC2xx — static checks on Python source",
     "sanitizer": "SIM3xx — runtime invariants fired by simsan",
-    "verifier": "VER2xx/3xx/4xx — whole-deployment verification "
+    "verifier": "VER2xx/3xx/4xx/5xx — whole-deployment verification "
                 "(python -m repro verify)",
     "determinism": "DET4xx static + DET5xx schedule-permutation checks "
                    "(python -m repro race)",
@@ -315,6 +315,32 @@ VER403 = _rule(
     "chain made progress every hop but the cap starved it short of the "
     "destination that would have run it. The counterexample chaos plan "
     "reproduces it.",
+)
+VER501 = _rule(
+    "VER501", "unbounded queue on an overload-protected route",
+    Severity.WARNING, "verifier",
+    "The deployment opts into overload protection (some destination "
+    "declares max_queue_depth) but a concrete destination on the same "
+    "routing graph is unbounded: a burst that bounces off the bounded "
+    "destinations piles up there without limit, defeating the bound. "
+    "Either bound every concrete destination or none.",
+)
+VER502 = _rule(
+    "VER502", "bounded GPU destination has no degrade arm", Severity.ERROR,
+    "verifier",
+    "A destination that both grants GPU execution and bounds its queue "
+    "(max_queue_depth) declares no resubmit_destination: every "
+    "REJECTED_BUSY at the bound becomes an immediate typed shed instead "
+    "of degrading to a CPU arm. CPU-pinned destinations are exempt — "
+    "they are the wide end of the funnel where shedding is by design.",
+)
+VER503 = _rule(
+    "VER503", "deadline shorter than the launch retry budget",
+    Severity.ERROR, "verifier",
+    "A destination's deadline_s is not longer than the total backoff the "
+    "launch retry policy can spend: a job whose first launch attempt "
+    "hits a transient fault is guaranteed to expire mid-retry, so the "
+    "retry budget is wasted work that always ends in a deadline shed.",
 )
 
 # --------------------------------------------------------------------- #

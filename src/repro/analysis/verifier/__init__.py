@@ -12,7 +12,10 @@ it:
   allocation strategies;
 * :mod:`~repro.analysis.verifier.model_check` (VER4xx) exhaustively
   explores bounded fault schedules against the real mapper / health /
-  resubmit machinery and emits replayable counterexample chaos plans.
+  resubmit machinery and emits replayable counterexample chaos plans;
+* :mod:`~repro.analysis.verifier.overload` (VER5xx) checks that the
+  overload-protection knobs (queue bounds, degrade arms, deadlines)
+  cover the routing graph coherently.
 
 Entry point: :func:`~repro.analysis.verifier.driver.verify_paths`,
 shipped as ``python -m repro verify``.

@@ -5,7 +5,8 @@ builds one :class:`~repro.analysis.verifier.ir.DeploymentIR` per
 job_conf reachable from the given paths, then runs the three pass
 families over each deployment:
 
-* dataflow (VER2xx) and capacity (VER3xx) — pure static passes;
+* dataflow (VER2xx), capacity (VER3xx) and overload (VER5xx) — pure
+  static passes;
 * the small-scope model checker (VER4xx) — bounded exhaustive replay,
   skippable with ``model_check=False`` for a fast static-only run.
 
@@ -38,6 +39,7 @@ from repro.analysis.verifier.model_check import (
     Scope,
     analyze_model_check,
 )
+from repro.analysis.verifier.overload import analyze_overload
 
 
 @dataclass
@@ -132,6 +134,7 @@ def verify_paths(
         report.deployments_checked += 1
         report.findings.extend(analyze_dataflow(ir, ctx))
         report.findings.extend(analyze_capacity(ir, ctx))
+        report.findings.extend(analyze_overload(ir, ctx))
         if options.model_check:
             findings, counterexamples, result = analyze_model_check(
                 ir, options.scope

@@ -31,6 +31,10 @@ Each scenario exercises one hot path the fast-path work optimised:
     compared against ``chaos-run`` this measures the instrumentation
     cost a race-checked run pays (the unchecked path keeps the
     ``_RECORDER is None`` fast guard).
+``overload-storm``
+    The hardened ``burst-storm`` overload drill end to end (bounded
+    queues, degrade redirects, brownout, breakers) — the admission and
+    shedding overhead the resilience layer adds to every launch.
 ``timeline-queries``
     Interleaved out-of-order :class:`~repro.gpusim.clock.Timeline`
     records followed by ``between``/``labelled`` range queries — the
@@ -54,6 +58,9 @@ QUICK_LONG_JOB_SECONDS = 2 * 3600
 
 BURST_JOBS = 200
 QUICK_BURST_JOBS = 50
+
+STORM_JOBS = 48
+QUICK_STORM_JOBS = 16
 
 TIMELINE_RECORDS = 20_000
 QUICK_TIMELINE_RECORDS = 4_000
@@ -228,6 +235,26 @@ def _race_overhead_scenario() -> BenchScenario:
     )
 
 
+def _storm_scenario(jobs: int) -> BenchScenario:
+    def setup():
+        return jobs
+
+    def run(n_jobs) -> float:
+        from repro.workloads.storm import run_storm
+
+        result = run_storm(jobs=n_jobs, seed=0, hardened=True)
+        return result.end_time
+
+    return BenchScenario(
+        name="overload-storm",
+        description="hardened burst-storm drill end to end (bounded "
+                    "queues, degrade redirects, brownout, breakers)",
+        setup=setup,
+        run=run,
+        workload={"jobs": jobs, "scenario": "burst-storm", "seed": 0},
+    )
+
+
 def _timeline_scenario(records: int, queries: int) -> BenchScenario:
     def setup():
         from repro.gpusim.clock import Timeline
@@ -273,6 +300,7 @@ def sim_core_suite(quick: bool = False) -> list[BenchScenario]:
         ),
         _chaos_scenario(),
         _race_overhead_scenario(),
+        _storm_scenario(QUICK_STORM_JOBS if quick else STORM_JOBS),
         _timeline_scenario(
             QUICK_TIMELINE_RECORDS if quick else TIMELINE_RECORDS,
             QUICK_TIMELINE_QUERIES if quick else TIMELINE_QUERIES,

@@ -402,6 +402,57 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.all_ok else 1
 
 
+def cmd_storm(args: argparse.Namespace) -> int:
+    from repro.workloads.storm import run_storm
+
+    try:
+        result = run_storm(
+            jobs=args.jobs,
+            seed=args.seed,
+            hardened=not args.no_hardening,
+            scenario=None if args.no_faults else args.scenario,
+            burst_factor=args.burst_factor,
+        )
+    except ValueError as exc:
+        print(f"storm: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(result.to_json(), end="")
+    else:
+        mode = "hardened (overload layer)" if result.hardened else \
+            "stock (no overload protection)"
+        print(f"storm: {result.jobs_requested} jobs, seed {result.seed}, "
+              f"scenario {result.scenario or 'none'}, {mode}")
+        print(f"admitted:           {result.admitted}")
+        print(f"completed ok:       {result.completed_ok}")
+        print(f"lost (admitted):    {result.lost_admitted}")
+        shed = ", ".join(f"{k}={v}" for k, v in sorted(result.shed.items()))
+        print(f"shed:               {result.shed_total}"
+              f"{'  (' + shed + ')' if shed else ''}")
+        peaks = ", ".join(
+            f"{d}={p}" for d, p in sorted(result.peak_inflight.items())
+        )
+        print(f"peak inflight:      {peaks or 'n/a'}")
+        print(f"redirects:          {result.redirects}")
+        print(f"brownout peak:      rung {result.brownout_peak_level}")
+        print(f"breaker trips:      {result.breaker_trips}")
+        if result.crashed is not None:
+            print(f"CRASHED: {result.crashed} "
+                  f"({result.never_submitted} job(s) never submitted)")
+
+    shed_fraction = (
+        result.shed_total / result.jobs_requested
+        if result.jobs_requested else 0.0
+    )
+    ok = (
+        result.crashed is None
+        and result.lost_admitted == 0
+        and shed_fraction <= args.max_shed_fraction
+    )
+    return 0 if ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.findings import Severity
     from repro.analysis.linter import EXIT_USAGE
@@ -614,6 +665,29 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--no-resilience", action="store_true",
                         help="run the stock, fragile deployment for comparison")
     faults.set_defaults(func=cmd_faults)
+
+    storm = sub.add_parser(
+        "storm",
+        help="drive a burst-arrival storm and report the overload ledger",
+    )
+    storm.add_argument("--jobs", type=int, default=48,
+                       help="submissions in the storm trace")
+    storm.add_argument("--seed", type=int, default=0,
+                       help="seed for both the trace and the fault scenario")
+    storm.add_argument("--burst-factor", type=float, default=10.0,
+                       help="arrival-rate multiplier inside burst windows")
+    storm.add_argument("--scenario", default="burst-storm",
+                       help="fault scenario armed alongside the storm")
+    storm.add_argument("--no-faults", action="store_true",
+                       help="pure load storm, no injected faults")
+    storm.add_argument("--no-hardening", action="store_true",
+                       help="run the stock deployment (no overload layer) "
+                            "for comparison")
+    storm.add_argument("--max-shed-fraction", type=float, default=0.5,
+                       help="fail (exit 1) when more than this fraction of "
+                            "jobs is shed")
+    storm.add_argument("--format", choices=("text", "json"), default="text")
+    storm.set_defaults(func=cmd_storm)
 
     verify = sub.add_parser(
         "verify",

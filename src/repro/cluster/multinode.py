@@ -29,6 +29,7 @@ from typing import Any, Callable, Mapping
 
 from repro.cluster.node import ComputeNode
 from repro.gpusim.clock import VirtualClock
+from repro.resilience.shedding import RejectedBusy, ShedReason
 
 
 @dataclass
@@ -152,11 +153,25 @@ class ClusterDispatcher:
         all must share a single virtual clock (the cluster's timebase).
     policy:
         Node-selection policy name or instance.
+    max_inflight_per_node:
+        Optional per-node depth limit for :meth:`launch_overlapped`.
+        When every eligible node is at its limit the dispatcher raises
+        :class:`~repro.resilience.shedding.RejectedBusy` instead of
+        piling more work onto saturated nodes — cluster-level
+        backpressure.  ``None`` (the default) keeps the historical
+        unbounded behaviour.
     """
 
-    def __init__(self, deployments: list[Any], policy: str | NodeSelectionPolicy = "first-available-gpu") -> None:
+    def __init__(
+        self,
+        deployments: list[Any],
+        policy: str | NodeSelectionPolicy = "first-available-gpu",
+        max_inflight_per_node: int | None = None,
+    ) -> None:
         if not deployments:
             raise ValueError("a cluster needs at least one node deployment")
+        if max_inflight_per_node is not None and max_inflight_per_node < 1:
+            raise ValueError("max_inflight_per_node must be >= 1 when set")
         clocks = {id(d.clock) for d in deployments}
         if len(clocks) != 1:
             raise ValueError("all node deployments must share one clock")
@@ -172,6 +187,9 @@ class ClusterDispatcher:
                     f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
                 ) from None
         self.policy = policy
+        self.max_inflight_per_node = max_inflight_per_node
+        self._inflight: dict[str, int] = {name: 0 for name in sorted(names)}
+        self.peak_inflight: dict[str, int] = dict(self._inflight)
         self.history: list[DispatchRecord] = []
 
     # ------------------------------------------------------------------ #
@@ -215,25 +233,76 @@ class ClusterDispatcher:
         )
         return job
 
+    def inflight(self, hostname: str) -> int:
+        """Overlapped launches on one node not yet finished."""
+        return self._inflight.get(hostname, 0)
+
+    def _admit_node(self, preferred: Any) -> Any:
+        """Enforce the per-node inflight bound, degrading to another node.
+
+        The policy-selected node is tried first; when it is full, the
+        least-loaded node with room (hostname-ordered tie-break) takes
+        the job instead — depth limits redirect load before refusing it.
+        Raises :class:`RejectedBusy` only when the whole cluster is full.
+        """
+        limit = self.max_inflight_per_node
+        if limit is None:
+            return preferred
+        preferred_name = preferred.node.hostname
+        if self._inflight[preferred_name] < limit:
+            return preferred
+        open_nodes = [
+            name
+            for name in sorted(self.deployments)
+            if self._inflight[name] < limit
+        ]
+        if not open_nodes:
+            raise RejectedBusy(
+                "cluster",
+                ShedReason.QUEUE_FULL,
+                depth=self._inflight[preferred_name],
+                limit=limit,
+            )
+        best = min(open_nodes, key=lambda name: (self._inflight[name], name))
+        return self.deployments[best]
+
     def launch_overlapped(self, tool_id: str, params: Mapping[str, Any] | None = None):
         """Route and *launch* a tool, leaving it running (for tests that
-        need cluster-wide contention); returns (deployment, runner, handle)."""
-        deployment = self.select_node(tool_id)
+        need cluster-wide contention); returns (deployment, runner, handle).
+
+        With ``max_inflight_per_node`` set, a full node redirects the
+        launch to a node with room and a fully saturated cluster raises
+        :class:`RejectedBusy`; call :meth:`finish_overlapped` to release
+        the slot.
+        """
+        deployment = self._admit_node(self.select_node(tool_id))
         job_params = dict(params or {})
         job_params.setdefault("workload", "unit")
         job = deployment.app.submit(tool_id, job_params)
         destination = deployment.app.map_destination(job)
         runner = deployment.app.runner_for(destination)
         handle = runner.launch(job, destination)
+        hostname = deployment.node.hostname
+        self._inflight[hostname] += 1
+        self.peak_inflight[hostname] = max(
+            self.peak_inflight[hostname], self._inflight[hostname]
+        )
         self.history.append(
             DispatchRecord(
                 tool_id=tool_id,
-                hostname=deployment.node.hostname,
+                hostname=hostname,
                 wants_gpu=self._wants_gpu(deployment, tool_id),
                 job_id=job.job_id,
             )
         )
         return deployment, runner, handle
+
+    def finish_overlapped(self, deployment: Any, runner: Any, handle: Any):
+        """Finish an overlapped launch and release its node slot."""
+        job = runner.finish(handle)
+        hostname = deployment.node.hostname
+        self._inflight[hostname] = max(0, self._inflight[hostname] - 1)
+        return job
 
 
 def build_cluster(

@@ -33,6 +33,8 @@ from repro.gpusim.host import GPUHost
 from repro.gpusim.nvml import NvmlLibrary
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NULL_TRACER
+from repro.resilience.breaker import BreakerOpenError, CircuitBreaker
+from repro.resilience.brownout import BrownoutController
 
 
 @dataclass
@@ -101,6 +103,8 @@ class GpuComputationMapper:
         cache_snapshots: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer=None,
+        breaker: CircuitBreaker | None = None,
+        brownout: BrownoutController | None = None,
     ) -> None:
         self.host = host
         self.strategy = strategy or PidAllocationStrategy()
@@ -108,6 +112,14 @@ class GpuComputationMapper:
         self.admission = admission
         self.health = health
         self.retry = retry
+        #: Optional circuit breaker around the NVML/nvidia-smi surface.
+        #: While open, probes fail fast with :class:`BreakerOpenError`
+        #: (degrading the job to CPU) instead of burning retry budget
+        #: against a dependency that is clearly down.
+        self.breaker = breaker
+        #: Optional brownout ladder; at rung >= 1 low-benefit tools lose
+        #: GPU mapping before any job is shed (graceful degradation).
+        self.brownout = brownout
         self.cache_snapshots = cache_snapshots
         self.history: list[MappingRecord] = []
         #: The deployment-wide metrics registry all mapper diagnostics
@@ -146,7 +158,16 @@ class GpuComputationMapper:
     @property
     def resilient(self) -> bool:
         """Whether observability failures degrade to CPU instead of raising."""
-        return self.health is not None or self.retry is not None
+        return (
+            self.health is not None
+            or self.retry is not None
+            or self.breaker is not None
+        )
+
+    @staticmethod
+    def _degradable(exc: BaseException) -> bool:
+        """Failures the resilient mapper absorbs by degrading to CPU."""
+        return is_transient_nvml_error(exc) or isinstance(exc, BreakerOpenError)
 
     # -- registry-backed diagnostic views ------------------------------- #
     @property
@@ -166,10 +187,28 @@ class GpuComputationMapper:
 
     # ------------------------------------------------------------------ #
     def _query(self, fn):
-        """Run one observability query under the configured retry policy."""
-        if self.retry is None or self.host is None:
-            return fn()
-        return retry_call(self.host.clock, self.retry, fn)
+        """Run one observability query under retry + circuit breaker.
+
+        An open breaker fails fast (no retry budget burned against a
+        dependency that is clearly down); a half-open breaker lets the
+        query through as its trial call.  Transient failures feed the
+        breaker, successes reset it.
+        """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allows():
+            raise BreakerOpenError(breaker.name, breaker.retry_at)
+        try:
+            if self.retry is None or self.host is None:
+                result = fn()
+            else:
+                result = retry_call(self.host.clock, self.retry, fn)
+        except Exception as exc:
+            if breaker is not None and is_transient_nvml_error(exc):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
 
     def _cache_key(self) -> tuple[float, int] | None:
         """Current ``(clock instant, host state version)`` pair.
@@ -194,7 +233,7 @@ class GpuComputationMapper:
         try:
             count = self._query(self._nvml.nvmlDeviceGetCount)
         except Exception as exc:
-            if self.resilient and is_transient_nvml_error(exc):
+            if self.resilient and self._degradable(exc):
                 self._c_degraded.inc()
                 return 0  # treat an unobservable host as GPU-less: CPU arm
             raise
@@ -245,6 +284,38 @@ class GpuComputationMapper:
         gpu_flag = tool.requires_gpu
         gpu_id_to_query = tool.requested_gpu_ids
 
+        # Brownout rung >= 1: low-benefit tools (rung >= 2: all tools)
+        # lose their GPU mapping before anything is shed — graceful
+        # degradation reclaims accelerator capacity cheapest-first.
+        browned_out = bool(
+            gpu_flag
+            and self.brownout is not None
+            and not self.brownout.allows_gpu(tool.tool_id)
+        )
+        if browned_out:
+            env = {GPU_ENABLED_ENV_VAR: "false"}
+            self._c_decisions.labels(
+                strategy=self.strategy.name, outcome="brownout"
+            ).inc()
+            self.history.append(
+                MappingRecord(
+                    job_id=job.job_id,
+                    tool_id=tool.tool_id,
+                    requested_ids=gpu_id_to_query,
+                    decision=None,
+                    gpu_enabled=False,
+                )
+            )
+            if span is not None:
+                tracer.end(
+                    span,
+                    strategy=self.strategy.name,
+                    outcome="brownout",
+                    brownout_level=self.brownout.level,
+                    gpu_enabled=False,
+                )
+            return env
+
         gpu_enabled = bool(gpu_flag and self.gpu_count() > 0)
         env: dict[str, str] = {GPU_ENABLED_ENV_VAR: "true" if gpu_enabled else "false"}
 
@@ -254,7 +325,7 @@ class GpuComputationMapper:
             try:
                 snapshot = self._probe_snapshot()
             except Exception as exc:
-                if not (self.resilient and is_transient_nvml_error(exc)):
+                if not (self.resilient and self._degradable(exc)):
                     if span is not None:
                         tracer.end(span, outcome="error", error=repr(exc))
                     raise

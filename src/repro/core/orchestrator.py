@@ -9,7 +9,7 @@ usage monitor.  :func:`build_deployment` assembles it; the returned
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.node import ComputeNode
 from repro.containers.docker import DockerRuntime
@@ -18,7 +18,7 @@ from repro.containers.singularity import SingularityRuntime, SingularityVersion
 from repro.core.allocation import AllocationStrategy, strategy_by_name
 from repro.core.container_gpu import docker_gpu_flag_provider, singularity_nv_provider
 from repro.core.destination_rules import register_gyan_rules
-from repro.core.health import DeviceHealthTracker
+from repro.core.health import DeviceHealthTracker, HealthEvent
 from repro.core.mapper import GpuComputationMapper
 from repro.core.monitor import GPUUsageMonitor
 from repro.core.retry import (
@@ -36,6 +36,9 @@ from repro.gpusim.clock import VirtualClock
 from repro.gpusim.faults import FaultInjector, InjectionPlan
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.brownout import BrownoutConfig, BrownoutController
+from repro.resilience.overload import OverloadController
 
 #: The GYAN job configuration — paper Code 2, extended with the concrete
 #: destinations the rules resolve to and the container variants.
@@ -127,6 +130,84 @@ GYAN_RESILIENT_JOB_CONF_XML = """\
 </job_conf>
 """
 
+#: The overload-hardened job configuration: every concrete destination is
+#: *bounded* (``max_queue_depth``) and carries a queue-to-start
+#: ``deadline_s``; GPU destinations additionally carry a
+#: ``runtime_budget_s`` kill threshold and degrade along their resubmit
+#: arm when full (REJECTED_BUSY), so burst storms shed typed work at the
+#: edges instead of growing queues without bound.  The CPU fallbacks are
+#: the wide end of the funnel — an order of magnitude more headroom —
+#: and are the only place jobs shed with ``queue_full``.  Deadlines stay
+#: comfortably above the launch-retry budget (gyan-verify VER503).
+GYAN_OVERLOAD_JOB_CONF_XML = """\
+<job_conf>
+    <plugins>
+        <plugin id="local" type="runner" load="galaxy.jobs.runners.local:LocalJobRunner"/>
+        <plugin id="docker" type="runner" load="galaxy.jobs.runners.docker:DockerJobRunner"/>
+        <plugin id="singularity" type="runner" load="galaxy.jobs.runners.singularity:SingularityJobRunner"/>
+    </plugins>
+    <destinations default="dynamic">
+        <destination id="dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">gpu_destination</param>
+        </destination>
+        <destination id="docker_dynamic" runner="dynamic">
+            <param id="type">python</param>
+            <param id="function">docker_destination</param>
+        </destination>
+        <destination id="local_gpu" runner="local">
+            <param id="resubmit_destination">local_cpu_fallback</param>
+            <param id="max_queue_depth">4</param>
+            <param id="deadline_s">120</param>
+            <param id="runtime_budget_s">600</param>
+        </destination>
+        <destination id="local_cpu" runner="local">
+            <param id="gpu_enabled_override">false</param>
+            <param id="resubmit_destination">local_cpu_fallback</param>
+            <param id="max_queue_depth">32</param>
+            <param id="deadline_s">240</param>
+        </destination>
+        <destination id="local_cpu_fallback" runner="local">
+            <param id="gpu_enabled_override">false</param>
+            <param id="max_queue_depth">64</param>
+            <param id="deadline_s">240</param>
+        </destination>
+        <destination id="docker_gpu" runner="docker">
+            <param id="docker_enabled">true</param>
+            <param id="resubmit_destination">docker_cpu_fallback</param>
+            <param id="max_queue_depth">4</param>
+            <param id="deadline_s">120</param>
+            <param id="runtime_budget_s">600</param>
+        </destination>
+        <destination id="docker_cpu" runner="docker">
+            <param id="docker_enabled">true</param>
+            <param id="resubmit_destination">docker_cpu_fallback</param>
+            <param id="max_queue_depth">32</param>
+            <param id="deadline_s">240</param>
+        </destination>
+        <destination id="docker_cpu_fallback" runner="docker">
+            <param id="docker_enabled">true</param>
+            <param id="gpu_enabled_override">false</param>
+            <param id="max_queue_depth">64</param>
+            <param id="deadline_s">240</param>
+        </destination>
+        <destination id="singularity_gpu" runner="singularity">
+            <param id="singularity_enabled">true</param>
+            <param id="resubmit_destination">singularity_cpu_fallback</param>
+            <param id="max_queue_depth">4</param>
+            <param id="deadline_s">120</param>
+            <param id="runtime_budget_s">600</param>
+        </destination>
+        <destination id="singularity_cpu_fallback" runner="singularity">
+            <param id="singularity_enabled">true</param>
+            <param id="gpu_enabled_override">false</param>
+            <param id="max_queue_depth">64</param>
+            <param id="deadline_s">240</param>
+        </destination>
+    </destinations>
+</job_conf>
+"""
+
 
 @dataclass
 class GyanDeployment:
@@ -149,6 +230,16 @@ class GyanDeployment:
     #: The tracer every layer reports spans into (None when the
     #: deployment was built without tracing — layers hold NULL_TRACER).
     tracer: Tracer | None = None
+    #: The overload controller (admission, deadlines, shedding, brownout);
+    #: None when the deployment was built without ``overload``.
+    overload: OverloadController | None = None
+    #: The brownout ladder feeding :attr:`overload` (None without it).
+    brownout: BrownoutController | None = None
+    #: Circuit breaker in front of the mapper's NVML probes.
+    nvml_breaker: CircuitBreaker | None = None
+    #: Circuit breakers in front of each runner's launch path, by runner
+    #: name (empty without ``overload``).
+    launch_breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
 
     @property
     def metrics_registry(self) -> MetricsRegistry:
@@ -211,6 +302,9 @@ def build_deployment(
     cache_snapshots: bool = True,
     tracer: Tracer | None = None,
     metrics_registry: MetricsRegistry | None = None,
+    overload: bool = False,
+    brownout_config: BrownoutConfig | None = None,
+    default_deadline_s: float | None = None,
 ) -> GyanDeployment:
     """Build the paper's deployment on the given (or default testbed) node.
 
@@ -249,8 +343,28 @@ def build_deployment(
         Share a :class:`~repro.observability.metrics.MetricsRegistry`
         across deployments (e.g. aggregating a fleet); by default each
         deployment gets its own.
+    overload:
+        Wire the overload-protection layer on top of ``resilient``
+        (which it implies): an :class:`OverloadController` enforcing
+        per-destination ``max_queue_depth`` bounds (REJECTED_BUSY
+        degrades along resubmit arms), virtual-clock deadlines and
+        runtime budgets, a :class:`BrownoutController` that sheds GPU
+        mapping for low-benefit tools under sustained saturation, and
+        circuit breakers in front of the NVML probe and every runner's
+        launch path.  Defaults the job configuration to
+        :data:`GYAN_OVERLOAD_JOB_CONF_XML`.
+    brownout_config:
+        Override the brownout ladder's thresholds (implies nothing on
+        its own; only read when ``overload`` is set).
+    default_deadline_s:
+        Deadline applied to jobs whose destination declares none (only
+        read when ``overload`` is set).
     """
     node = node or ComputeNode.paper_testbed()
+    if overload:
+        resilient = True
+        if job_conf_xml is None:
+            job_conf_xml = GYAN_OVERLOAD_JOB_CONF_XML
     if resilient:
         health_tracker = health_tracker or DeviceHealthTracker()
         nvml_retry = nvml_retry or DEFAULT_NVML_RETRY
@@ -273,6 +387,56 @@ def build_deployment(
     )
     app.health_tracker = health_tracker
     app.nvml_retry = nvml_retry
+
+    overload_controller: OverloadController | None = None
+    brownout_controller: BrownoutController | None = None
+    nvml_breaker: CircuitBreaker | None = None
+    launch_breakers: dict[str, CircuitBreaker] = {}
+    if overload:
+        brownout_controller = BrownoutController(
+            config=brownout_config or BrownoutConfig()
+        )
+        overload_controller = OverloadController(
+            clock=node.clock,
+            metrics=app.metrics_registry,
+            tracer=tracer,
+            brownout=brownout_controller,
+            default_deadline_s=default_deadline_s,
+        )
+        app.overload = overload_controller
+
+        def _breaker_hook(name: str):
+            # Breaker trips land in three places: the overload metrics
+            # (counter + tracer instant), and — when a tracker is wired —
+            # the device-health event log, so an open breaker reads like
+            # a quarantined pseudo-device in post-mortems.
+            def hook(
+                now: float, old: BreakerState, new: BreakerState
+            ) -> None:
+                assert overload_controller is not None
+                overload_controller.record_breaker_transition(name, now, new)
+                if health_tracker is not None:
+                    health_tracker.events.append(
+                        HealthEvent(
+                            now,
+                            f"breaker:{name}",
+                            f"breaker_{new.value}",
+                            f"circuit breaker {name} -> {new.value}",
+                        )
+                    )
+
+            return hook
+
+        nvml_breaker = CircuitBreaker(
+            node.clock, "nvml", on_transition=_breaker_hook("nvml")
+        )
+        for runner_name in ("local", "docker", "singularity"):
+            launch_breakers[runner_name] = CircuitBreaker(
+                node.clock,
+                f"launch:{runner_name}",
+                on_transition=_breaker_hook(f"launch:{runner_name}"),
+            )
+
     mapper = GpuComputationMapper(
         host=node.gpu_host,
         strategy=strategy_by_name(allocation_strategy),
@@ -281,6 +445,8 @@ def build_deployment(
         cache_snapshots=cache_snapshots,
         metrics=app.metrics_registry,
         tracer=tracer,
+        breaker=nvml_breaker,
+        brownout=brownout_controller,
     )
     monitor = (
         GPUUsageMonitor(node.gpu_host)
@@ -304,7 +470,11 @@ def build_deployment(
         singularity_runtime.fault_plane = node.gpu_host.faults
 
     local_runner = LocalRunner(
-        app, gpu_mapper=mapper, usage_monitor=monitor, launch_retry=launch_retry
+        app,
+        gpu_mapper=mapper,
+        usage_monitor=monitor,
+        launch_retry=launch_retry,
+        launch_breaker=launch_breakers.get("local"),
     )
     docker_runner = DockerJobRunner(
         app,
@@ -313,6 +483,7 @@ def build_deployment(
         gpu_flag_provider=docker_gpu_flag_provider,
         usage_monitor=monitor,
         launch_retry=launch_retry,
+        launch_breaker=launch_breakers.get("docker"),
     )
     singularity_runner = SingularityJobRunner(
         app,
@@ -321,6 +492,7 @@ def build_deployment(
         nv_flag_provider=singularity_nv_provider,
         usage_monitor=monitor,
         launch_retry=launch_retry,
+        launch_breaker=launch_breakers.get("singularity"),
     )
     app.register_runner("local", local_runner)
     app.register_runner("docker", docker_runner)
@@ -356,4 +528,8 @@ def build_deployment(
         singularity_runner=singularity_runner,
         health_tracker=health_tracker,
         tracer=tracer,
+        overload=overload_controller,
+        brownout=brownout_controller,
+        nvml_breaker=nvml_breaker,
+        launch_breakers=launch_breakers,
     )

@@ -15,6 +15,7 @@ reproducible.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
@@ -32,12 +33,30 @@ class BackoffPolicy:
     one initial attempt plus up to three retries.  The delay before
     retry *n* (1-based) is ``base_delay_s * multiplier**(n-1)``, capped
     at ``max_delay_s``.
+
+    Two overload-era knobs, both off by default:
+
+    ``jitter``
+        Fraction in ``[0, 1)`` by which each delay is perturbed.  The
+        perturbation is *seeded* — delay *n* is multiplied by a factor
+        drawn from ``random.Random(f"{seed}:{n}")`` in
+        ``[1 - jitter, 1 + jitter]`` — so two runs with the same policy
+        produce byte-identical schedules while distinct seeds de-herd
+        concurrent retriers (the thundering-herd fix, without wall-clock
+        entropy).
+    ``total_budget_s``
+        Hard cap on the *sum* of delays.  A retry whose wait would push
+        the cumulative delay past the budget is forfeited — retry storms
+        can never outlive a job deadline.
     """
 
     max_attempts: int = 4
     base_delay_s: float = 0.25
     multiplier: float = 2.0
     max_delay_s: float = 8.0
+    jitter: float = 0.0
+    seed: int = 0
+    total_budget_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -48,19 +67,48 @@ class BackoffPolicy:
             raise ValueError("multiplier must be >= 1 (backoff never shrinks)")
         if self.max_delay_s < self.base_delay_s:
             raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.total_budget_s is not None and self.total_budget_s <= 0:
+            raise ValueError("total_budget_s must be positive when set")
 
     def delay_for(self, retry_index: int) -> float:
-        """Seconds to wait before retry ``retry_index`` (1-based)."""
+        """Seconds to wait before retry ``retry_index`` (1-based).
+
+        Deterministic: the same (policy, retry_index) always yields the
+        same delay, jitter included, and the result never exceeds
+        ``max_delay_s * (1 + jitter)``.
+        """
         if retry_index < 1:
             raise ValueError("retry_index is 1-based")
-        return min(
+        delay = min(
             self.base_delay_s * self.multiplier ** (retry_index - 1),
             self.max_delay_s,
         )
+        if self.jitter:
+            rng = random.Random(f"{self.seed}:{retry_index}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
     def schedule(self) -> list[float]:
-        """The full delay schedule (one entry per possible retry)."""
-        return [self.delay_for(i) for i in range(1, self.max_attempts)]
+        """The full delay schedule (one entry per affordable retry).
+
+        When ``total_budget_s`` is set the schedule is truncated at the
+        first retry whose delay would push the cumulative wait past the
+        budget — ``sum(schedule()) <= total_budget_s`` always holds.
+        """
+        delays: list[float] = []
+        spent = 0.0
+        for i in range(1, self.max_attempts):
+            delay = self.delay_for(i)
+            if (
+                self.total_budget_s is not None
+                and spent + delay > self.total_budget_s
+            ):
+                break
+            delays.append(delay)
+            spent += delay
+        return delays
 
 
 #: A conservative default for NVML/nvidia-smi queries: 4 attempts over
@@ -100,8 +148,14 @@ def retry_call(
     swallowed until the attempt budget is spent, then the last one
     propagates.  ``on_retry(retry_index, exc)`` fires before each wait —
     the mapper uses it to feed the health tracker.
+
+    When the policy carries a ``total_budget_s``, a retry whose delay
+    would overrun the remaining budget is forfeited and the last
+    exception propagates instead — the caller's deadline wins over the
+    attempt count.
     """
     last_exc: BaseException | None = None
+    waited = 0.0
     for attempt in range(1, policy.max_attempts + 1):
         try:
             return fn()
@@ -111,8 +165,15 @@ def retry_call(
             last_exc = exc
             if attempt == policy.max_attempts:
                 break
+            delay = policy.delay_for(attempt)
+            if (
+                policy.total_budget_s is not None
+                and waited + delay > policy.total_budget_s
+            ):
+                break
             if on_retry is not None:
                 on_retry(attempt, exc)
-            clock.advance(policy.delay_for(attempt))
+            clock.advance(delay)
+            waited += delay
     assert last_exc is not None
     raise last_exc

@@ -26,6 +26,7 @@ from repro.galaxy.job_conf import Destination, JobConfig
 from repro.galaxy.tool_xml import ToolDefinition
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NULL_TRACER
+from repro.resilience.shedding import RejectedBusy, ShedReason
 
 
 @dataclass
@@ -137,6 +138,12 @@ class GalaxyApp:
         #: Optional :class:`~repro.core.retry.BackoffPolicy` the dynamic
         #: destination rules use around their ``pynvml`` probe.
         self.nvml_retry: Any = None
+        #: Optional :class:`~repro.resilience.overload.OverloadController`.
+        #: When set, runners run an admission check before queueing
+        #: (bounded destinations bounce with REJECTED_BUSY and the app
+        #: degrades along resubmit arms), jobs carry virtual-clock
+        #: deadlines, and sustained saturation trips the brownout ladder.
+        self.overload: Any = None
         self._toolbox = None
         self.tools: dict[str, ToolDefinition] = {}
         self.executors: dict[str, ToolExecutor] = {}
@@ -279,6 +286,53 @@ class GalaxyApp:
                     gid, now, note=f"job {job.job_id} failed on GPU {gid}"
                 )
 
+    def _queue_with_degrade(self, job: GalaxyJob, destination: Destination):
+        """Queue a job, degrading along resubmit arms on REJECTED_BUSY.
+
+        A bounded destination at its ``max_queue_depth`` bounces the
+        admission check with :class:`RejectedBusy` *before* the job
+        leaves NEW — so instead of crashing the submit path, the job is
+        redirected down the destination's ``resubmit_destination`` chain
+        (the same arms that catch runtime failures double as degrade
+        routes under load).  When every arm is full the job is shed with
+        a typed ``queue_full`` reason.
+
+        Returns the destination that accepted the job, or None when the
+        job was shed.
+        """
+        target = destination
+        seen = {target.destination_id}
+        while True:
+            try:
+                self.runner_for(target).queue_job(job, target)
+                return target
+            except RejectedBusy:
+                next_id = target.resubmit_destination
+                if (
+                    next_id is None
+                    or next_id in seen
+                    or len(seen) > self.max_resubmit_hops
+                ):
+                    if self.overload is None:  # pragma: no cover - defensive
+                        raise
+                    self.overload.shed(
+                        job,
+                        ShedReason.QUEUE_FULL,
+                        note=f"all arms full from {destination.destination_id}",
+                    )
+                    return None
+                target = self.job_config.destination(next_id)
+                seen.add(target.destination_id)
+                if self.overload is not None:
+                    self.overload.record_redirect()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "overload.redirect",
+                        "job",
+                        job_id=job.job_id,
+                        destination=target.destination_id,
+                    )
+
     def run_job(self, job: GalaxyJob) -> GalaxyJob:
         """Steps 2-4: map, execute, collect.  Synchronous.
 
@@ -291,10 +345,29 @@ class GalaxyApp:
         cannot bounce a job forever.  The returned job is the final
         attempt; every job in a chain carries the full chain in
         ``metrics.resubmit_chain``.
+
+        With an :attr:`overload` controller attached the path hardens:
+        brownout rung 3 sheds low-benefit jobs before mapping, jobs are
+        stamped with a virtual-clock deadline, and REJECTED_BUSY from a
+        bounded destination degrades along resubmit arms instead of
+        raising.
         """
+        if self.overload is not None and self.overload.should_shed(
+            job.tool.tool_id
+        ):
+            self.overload.shed(
+                job, ShedReason.BROWNOUT_SHED, note=job.tool.tool_id
+            )
+            return job
         destination = self.map_destination(job)
-        runner = self.runner_for(destination)
-        runner.queue_job(job, destination)
+        if self.overload is not None and job.metrics.deadline is None:
+            job.metrics.deadline = self.overload.deadline_for(
+                destination, job.metrics.submit_time
+            )
+        accepted = self._queue_with_degrade(job, destination)
+        if accepted is None:
+            return job
+        destination = accepted
         self._notify_health(job)
 
         chain = [job]
@@ -330,9 +403,16 @@ class GalaxyApp:
                     resubmit_of=current.job_id,
                     hop=len(chain) - 1,
                 )
-            self.runner_for(target).queue_job(retry, target)
+            if self.overload is not None and retry.metrics.deadline is None:
+                retry.metrics.deadline = self.overload.deadline_for(
+                    target, retry.metrics.submit_time
+                )
+            accepted_target = self._queue_with_degrade(retry, target)
+            if accepted_target is None:
+                current, dest = retry, target
+                break
             self._notify_health(retry)
-            current, dest = retry, target
+            current, dest = retry, accepted_target
         if len(chain) > 1:
             ids = [j.job_id for j in chain]
             for hop in chain:

@@ -75,6 +75,12 @@ class JobMetrics:
     #: job in the chain carries the same list, so any hop reveals the
     #: whole history.  Empty for jobs that were never resubmitted.
     resubmit_chain: list[int] = field(default_factory=list)
+    #: Absolute virtual-clock deadline stamped by the overload layer;
+    #: a job still queued past it is shed, never run.
+    deadline: float | None = None
+    #: Typed :class:`~repro.resilience.shedding.ShedReason` value, set
+    #: iff the overload layer refused this job (state DELETED).
+    shed_reason: str | None = None
 
     @property
     def runtime_seconds(self) -> float | None:

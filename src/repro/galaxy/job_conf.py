@@ -69,6 +69,44 @@ class Destination:
         """Whether this destination launches tools in Singularity."""
         return parse_bool_param(self.params.get("singularity_enabled"))
 
+    def _positive_float_param(self, name: str) -> float | None:
+        raw = self.params.get(name)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value > 0 else None
+
+    @property
+    def max_queue_depth(self) -> int | None:
+        """Inflight bound of this destination (None = unbounded).
+
+        The overload layer's admission check: when this many jobs are
+        admitted and unfinished, further submissions bounce with
+        REJECTED_BUSY and either degrade along ``resubmit_destination``
+        or wait under backpressure.
+        """
+        raw = self.params.get("max_queue_depth")
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            return None
+        return value if value > 0 else None
+
+    @property
+    def deadline_s(self) -> float | None:
+        """Queue-to-start deadline for jobs routed here (virtual seconds)."""
+        return self._positive_float_param("deadline_s")
+
+    @property
+    def runtime_budget_s(self) -> float | None:
+        """Kill threshold for running jobs (virtual seconds)."""
+        return self._positive_float_param("runtime_budget_s")
+
 
 class DynamicRuleRegistry:
     """Named rule functions available to dynamic destinations."""

@@ -98,6 +98,13 @@ class BaseJobRunner:
         budget exhausted, the job fails with the last error.  Without a
         policy the first transient error fails the job immediately —
         the pre-resilience behaviour.
+    launch_breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        around the launch path.  Transient launch failures feed it;
+        while open, :meth:`queue_job` fails jobs fast with a typed
+        "breaker open" error (which the app's resubmit chain routes to
+        a degrade arm) instead of burning the whole retry budget
+        against a dependency that is clearly down.
     """
 
     runner_name = "base"
@@ -108,11 +115,13 @@ class BaseJobRunner:
         gpu_mapper: GpuMapper | None = None,
         usage_monitor: UsageMonitor | None = None,
         launch_retry: Any = None,
+        launch_breaker: Any = None,
     ) -> None:
         self.app = app
         self.gpu_mapper = gpu_mapper
         self.usage_monitor = usage_monitor
         self.launch_retry = launch_retry
+        self.launch_breaker = launch_breaker
         registry = app.metrics_registry
         self._c_requeues = registry.counter(
             "gyan_runner_requeues_total",
@@ -205,9 +214,19 @@ class BaseJobRunner:
     # lifecycle
     # ------------------------------------------------------------------ #
     def launch(self, job: GalaxyJob, destination: Destination) -> LaunchedTool:
-        """QUEUED -> RUNNING: prepare env, assemble command, start process."""
+        """QUEUED -> RUNNING: prepare env, assemble command, start process.
+
+        With an overload controller installed on the app, admission to
+        the destination's bounded queue happens *before* the QUEUED
+        transition — a :class:`~repro.resilience.shedding.RejectedBusy`
+        leaves the job in NEW so the caller can redirect it along a
+        degrade route or hold it under backpressure.
+        """
         tracer = self.app.tracer
         now = self.app.node.clock.now
+        overload = getattr(self.app, "overload", None)
+        if overload is not None:
+            overload.admit(job, destination)  # may raise RejectedBusy
         job.transition(JobState.QUEUED, now)
         job.metrics.destination_id = destination.destination_id
         launch_span = (
@@ -306,7 +325,17 @@ class BaseJobRunner:
             job.metrics.breakdown.setdefault("container_overhead", 0.0)
             job.metrics.breakdown["container_overhead"] += launched.extra_overhead
         job.metrics.end_time = now
-        if result.exit_code == 0:
+        if result.exit_code == 0 and self._overran_runtime_budget(job):
+            # The kill path: the destination's runtime budget is the
+            # contract; an overrun becomes a typed ERROR so the app's
+            # resubmit chain retries it (per the launch BackoffPolicy)
+            # on a degrade arm instead of silently keeping the result.
+            job.fail(
+                "killed: runtime budget exceeded "
+                f"(ran {job.metrics.runtime_seconds:g}s)",
+                now,
+            )
+        elif result.exit_code == 0:
             job.transition(JobState.OK, now)
             self._collect_outputs(job)
         else:
@@ -317,11 +346,32 @@ class BaseJobRunner:
             collector.collect(job)
         return job
 
+    def _overran_runtime_budget(self, job: GalaxyJob) -> bool:
+        """Did this job run past its destination's ``runtime_budget_s``?"""
+        overload = getattr(self.app, "overload", None)
+        if overload is None or job.metrics.destination_id is None:
+            return False
+        try:
+            destination = self.app.job_config.destination(
+                job.metrics.destination_id
+            )
+        except Exception:
+            return False
+        budget = overload.runtime_budget(destination)
+        runtime = job.metrics.runtime_seconds
+        if budget is None or runtime is None or runtime <= budget:
+            return False
+        overload.record_runtime_kill()
+        return True
+
     def _finalize_observability(
         self, launched: LaunchedTool, error: str | None = None
     ) -> None:
         """Terminal bookkeeping: histograms, finish counter, span closure."""
         job = launched.job
+        overload = getattr(self.app, "overload", None)
+        if overload is not None:
+            overload.release(job)
         state = job.state.value
         self._c_finished.labels(runner=self.runner_name, state=state).inc()
         if (
@@ -367,6 +417,26 @@ class BaseJobRunner:
             self.app.node.release_cpus(launched.cpu_token)
             launched.cpu_token = None
 
+    def _fail_terminal(
+        self, job: GalaxyJob, message: str, queue_span, attempt: int
+    ) -> GalaxyJob:
+        """Fail a job out of the queue loop with terminal bookkeeping."""
+        tracer = self.app.tracer
+        now = self.app.node.clock.now
+        if job.state is JobState.NEW:
+            # A breaker can fast-fail before the first launch attempt
+            # ever ran; ERROR is only reachable through QUEUED.
+            job.transition(JobState.QUEUED, now)
+        job.fail(message, now)
+        overload = getattr(self.app, "overload", None)
+        if overload is not None:
+            overload.release(job)
+        tracer.end(queue_span, attempts=attempt, error=message)
+        state = job.state.value
+        self._c_finished.labels(runner=self.runner_name, state=state).inc()
+        tracer.end_job(job.job_id, state=state, error=message)
+        return job
+
     def queue_job(self, job: GalaxyJob, destination: Destination) -> GalaxyJob:
         """The synchronous everyday path: launch then finish.
 
@@ -375,8 +445,14 @@ class BaseJobRunner:
         QUEUED -> QUEUED transition and a virtual-clock backoff.  A job
         that exhausts the budget — or hits a transient error with no
         policy configured — fails cleanly instead of crashing the app.
+
+        Overload integration: a job whose deadline expired while waiting
+        (or backing off) is shed with a typed reason; an open launch
+        breaker fails the job fast with a typed error so the resubmit
+        chain can degrade it instead of hammering a dead dependency.
         """
         tracer = self.app.tracer
+        overload = getattr(self.app, "overload", None)
         queue_span = (
             tracer.begin(
                 "queue",
@@ -390,27 +466,48 @@ class BaseJobRunner:
         )
         attempt = 1
         while True:
+            if overload is not None and overload.expired(job):
+                from repro.resilience.shedding import ShedReason
+
+                overload.shed(
+                    job,
+                    ShedReason.DEADLINE_EXPIRED,
+                    note=f"destination {destination.destination_id}",
+                )
+                tracer.end(
+                    queue_span, attempts=attempt, shed="deadline_expired"
+                )
+                self._c_finished.labels(
+                    runner=self.runner_name, state=job.state.value
+                ).inc()
+                return job
+            breaker = self.launch_breaker
+            if breaker is not None and not breaker.allows():
+                return self._fail_terminal(
+                    job,
+                    f"launch skipped: circuit breaker {breaker.name!r} open "
+                    f"(retry at t={breaker.retry_at:g})",
+                    queue_span,
+                    attempt,
+                )
             try:
                 launched = self.launch(job, destination)
             except Exception as exc:
                 if not is_transient_launch_error(exc) or job.is_terminal:
                     tracer.end(queue_span, attempts=attempt, error=repr(exc))
                     raise
+                if breaker is not None:
+                    breaker.record_failure()
                 policy = self.launch_retry
                 if policy is None or attempt >= policy.max_attempts:
-                    job.fail(
-                        f"launch failed: {exc}", self.app.node.clock.now
+                    return self._fail_terminal(
+                        job, f"launch failed: {exc}", queue_span, attempt
                     )
-                    tracer.end(queue_span, attempts=attempt, error=repr(exc))
-                    state = job.state.value
-                    self._c_finished.labels(
-                        runner=self.runner_name, state=state
-                    ).inc()
-                    tracer.end_job(job.job_id, state=state, error=repr(exc))
-                    return job
                 self._record_requeue(job)
                 self.app.node.clock.advance(policy.delay_for(attempt))
                 attempt += 1
                 continue
+            if breaker is not None:
+                breaker.record_success()
             tracer.end(queue_span, attempts=attempt)
             return self.finish(launched)

@@ -443,12 +443,51 @@ def _ecc_storm(seed: int, device_count: int) -> tuple[FaultEvent, ...]:
     return tuple(events)
 
 
+def _burst_storm(seed: int, device_count: int) -> tuple[FaultEvent, ...]:
+    """Infrastructure distress clustered inside a submission burst.
+
+    The overload acceptance scenario: NVML flakes and container-daemon
+    hiccups arrive *bunched* in a short window — exactly when the
+    arrival rate spikes — so a stock deployment crashes its mapper or
+    loses launches at the worst possible moment, while a hardened one
+    absorbs them with breakers/retries and sheds only typed overflow.
+    No device dies: every fault here is transient by construction, so a
+    hardened run can finish with zero admitted-job losses.
+    """
+    rng = random.Random(seed)
+    burst_start = round(rng.uniform(10.0, 14.0), 3)
+    events = [
+        FaultEvent(
+            time=round(burst_start + rng.uniform(0.0, 4.0), 3),
+            kind=FaultKind.NVML_FLAKE,
+            count=1,
+            nvml_code=rng.choice(
+                [NVMLError.NVML_ERROR_TIMEOUT, NVMLError.NVML_ERROR_UNKNOWN]
+            ),
+            note="probe flake inside the burst window",
+        )
+        for _ in range(rng.randint(2, 3))
+    ]
+    for _ in range(rng.randint(1, 2)):
+        events.append(
+            FaultEvent(
+                time=round(burst_start + rng.uniform(0.5, 5.0), 3),
+                kind=FaultKind.CONTAINER_LAUNCH_FAIL,
+                count=1,
+                note="docker: Error response from daemon: transient "
+                "runtime failure",
+            )
+        )
+    return tuple(events)
+
+
 #: Named scenario generators: ``(seed, device_count) -> events``.
 SCENARIOS = {
     "k80-die-midrun": _k80_die_midrun,
     "nvml-flaky": _nvml_flaky,
     "container-flaky": _container_flaky,
     "ecc-storm": _ecc_storm,
+    "burst-storm": _burst_storm,
 }
 
 

@@ -39,10 +39,17 @@ class ChaosJobResult:
     destination: str | None
     resubmit_chain: tuple[int, ...]
     error: str | None = None
+    #: Typed overload reason when the job was *shed* (deliberately
+    #: refused) rather than lost — distinct from failure in the ledger.
+    shed_reason: str | None = None
 
     @property
     def survived(self) -> bool:
         return self.state == "ok"
+
+    @property
+    def shed(self) -> bool:
+        return self.shed_reason is not None
 
     def to_dict(self) -> dict:
         data: dict = {"tool": self.tool, "state": self.state,
@@ -51,6 +58,8 @@ class ChaosJobResult:
             data["resubmit_chain"] = list(self.resubmit_chain)
         if self.error:
             data["error"] = self.error
+        if self.shed_reason:
+            data["shed_reason"] = self.shed_reason
         return data
 
 
@@ -83,8 +92,19 @@ class ChaosRunResult:
         return sum(1 for j in self.jobs if j.survived)
 
     @property
+    def shed(self) -> int:
+        """Jobs the overload layer *deliberately* refused (typed reason)."""
+        return sum(1 for j in self.jobs if j.shed)
+
+    @property
     def lost(self) -> int:
-        return self.jobs_requested - self.survived
+        """Jobs that neither finished OK nor were deliberately shed.
+
+        Shed is load management, loss is damage; the two are counted
+        apart so a hardened run can shed under a storm and still report
+        zero losses.
+        """
+        return self.jobs_requested - self.survived - self.shed
 
     @property
     def all_ok(self) -> bool:
@@ -96,6 +116,7 @@ class ChaosRunResult:
             "resilient": self.resilient,
             "jobs_requested": self.jobs_requested,
             "survived": self.survived,
+            "shed": self.shed,
             "lost": self.lost,
             "crashed": self.crashed,
             "jobs": [j.to_dict() for j in self.jobs],
@@ -205,6 +226,7 @@ def run_chaos(
                 ),
                 error=(job.stderr or None)
                 if job.state.value == "error" else None,
+                shed_reason=job.metrics.shed_reason,
             )
         )
 

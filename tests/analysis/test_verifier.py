@@ -33,13 +33,14 @@ def _rule_ids(report):
 
 
 class TestDeploymentIR:
-    def test_examples_load_as_two_deployments(self):
+    def test_examples_load_as_three_deployments(self):
         deployments, findings, errors = load_deployments(
             [str(REPO_ROOT / "examples" / "configs")]
         )
         assert errors == [] and findings == []
         assert [Path(d.job_conf_path).name for d in deployments] == [
-            "job_conf.xml", "job_conf_resilient.xml",
+            "job_conf.xml", "job_conf_overload.xml",
+            "job_conf_resilient.xml",
         ]
         first = deployments[0]
         assert "local_gpu" in first.destinations
@@ -105,6 +106,26 @@ class TestStaticPasses:
         report = _verify(FIXTURES / "clean")
         assert report.findings == []
         assert report.exit_code(Severity.INFO) == EXIT_CLEAN
+
+    def test_overload_bad_fixture_trips_every_ver5xx_rule(self):
+        report = _verify(FIXTURES / "overload_bad")
+        assert _rule_ids(report) >= {"VER501", "VER502", "VER503"}
+        assert report.exit_code(Severity.ERROR) == EXIT_FINDINGS
+        by_rule = {f.rule_id: f for f in report.findings}
+        # Provenance points at the offending destination lines.
+        assert by_rule["VER501"].line is not None
+        assert by_rule["VER502"].line == by_rule["VER503"].line
+
+    def test_ver501_silent_when_nothing_is_bounded(self):
+        # The stock config never opted into bounding: not a finding.
+        report = _verify(REPO_ROOT / "examples" / "configs" / "job_conf.xml")
+        assert not any(r.startswith("VER5") for r in _rule_ids(report))
+
+    def test_overload_example_passes_ver5xx(self):
+        report = _verify(
+            REPO_ROOT / "examples" / "configs" / "job_conf_overload.xml"
+        )
+        assert not any(r.startswith("VER5") for r in _rule_ids(report))
 
     def test_devices_flag_widens_plan_check(self):
         report = _verify(FIXTURES / "bad", device_count=8)

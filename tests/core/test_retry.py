@@ -139,3 +139,87 @@ class TestTransientClassification:
     def test_other_errors_are_not(self):
         assert not is_transient_nvml_error(RuntimeError("tool exploded"))
         assert not is_transient_nvml_error(ValueError("nope"))
+
+
+# --------------------------------------------------------------------- #
+# seeded jitter + total retry budget: property-based contracts
+# --------------------------------------------------------------------- #
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+policies = st.builds(
+    BackoffPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay_s=st.floats(min_value=0.01, max_value=4.0,
+                           allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=3.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay_s=st.floats(min_value=4.0, max_value=64.0,
+                          allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=0.99,
+                     allow_nan=False, allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    total_budget_s=st.one_of(
+        st.none(),
+        st.floats(min_value=0.1, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=80)
+    @given(policy=policies)
+    def test_schedules_are_reproducible_per_seed(self, policy):
+        # Same policy (same seed) -> byte-identical schedule, every time.
+        assert policy.schedule() == policy.schedule()
+        twin = BackoffPolicy(**{
+            f: getattr(policy, f) for f in (
+                "max_attempts", "base_delay_s", "multiplier", "max_delay_s",
+                "jitter", "seed", "total_budget_s",
+            )
+        })
+        assert twin.schedule() == policy.schedule()
+
+    @settings(max_examples=80)
+    @given(policy=policies)
+    def test_delays_are_bounded_and_nonnegative(self, policy):
+        ceiling = policy.max_delay_s * (1.0 + policy.jitter)
+        for retry_index in range(1, policy.max_attempts):
+            delay = policy.delay_for(retry_index)
+            assert 0.0 <= delay <= ceiling + 1e-9
+
+    @settings(max_examples=80)
+    @given(policy=policies)
+    def test_schedule_never_outspends_the_budget(self, policy):
+        delays = policy.schedule()
+        assert len(delays) <= policy.max_attempts - 1
+        if policy.total_budget_s is not None:
+            assert sum(delays) <= policy.total_budget_s + 1e-9
+
+    @settings(max_examples=40)
+    @given(seed_a=st.integers(min_value=0, max_value=10_000),
+           seed_b=st.integers(min_value=0, max_value=10_000))
+    def test_distinct_seeds_deherd(self, seed_a, seed_b):
+        # Jittered twins with different seeds must not collide on every
+        # delay (the thundering-herd fix), while either seed alone stays
+        # deterministic.
+        make = lambda s: BackoffPolicy(  # noqa: E731
+            max_attempts=6, base_delay_s=1.0, jitter=0.5, seed=s
+        )
+        a, b = make(seed_a), make(seed_b)
+        assert a.schedule() == make(seed_a).schedule()
+        if seed_a != seed_b:
+            assert a.schedule() != b.schedule()
+
+    @settings(max_examples=40)
+    @given(policy=policies)
+    def test_unjittered_schedule_is_monotone_until_the_cap(self, policy):
+        flat = BackoffPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay_s=policy.base_delay_s,
+            multiplier=policy.multiplier,
+            max_delay_s=policy.max_delay_s,
+        )
+        delays = flat.schedule()
+        assert all(a <= b + 1e-9 for a, b in zip(delays, delays[1:]))
+        assert all(d <= flat.max_delay_s for d in delays)

@@ -14,8 +14,14 @@ from __future__ import annotations
 import pytest
 
 from repro.gpusim.errors import NVMLError
-from repro.gpusim.faults import FaultEvent, FaultKind, InjectionPlan, build_scenario
-from repro.workloads.chaos import run_chaos
+from repro.gpusim.faults import (
+    SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    InjectionPlan,
+    build_scenario,
+)
+from repro.workloads.chaos import ChaosJobResult, ChaosRunResult, run_chaos
 
 #: Device 1 falls off the bus while a job occupies it (the unit Bonito
 #: run spans t=5.0), then NVML flakes during the next mapping query.
@@ -133,3 +139,50 @@ class TestChaosCli:
         path.write_text(KILLER_PLAN.to_json())
         assert main(["faults", "--plan", str(path), "--jobs", "2"]) == 0
         assert "die-under-running-job" in capsys.readouterr().out
+
+
+class TestShedSemantics:
+    """``shed`` is load management, ``lost`` is damage — counted apart."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_resilient_runs_never_crash(self, name):
+        result = run_chaos(build_scenario(name, seed=0), jobs=8,
+                           resilient=True)
+        assert result.crashed is None
+        assert result.lost == 0
+        assert result.all_ok
+
+    def test_ledger_identity_holds(self):
+        result = run_chaos(KILLER_PLAN, jobs=8, resilient=True)
+        assert (result.survived + result.shed + result.lost
+                == result.jobs_requested)
+
+    def test_shed_counts_apart_from_lost(self):
+        # A synthetic ledger: one OK, one typed shed, one genuine loss.
+        result = ChaosRunResult(plan=KILLER_PLAN, resilient=True,
+                                jobs_requested=3)
+        result.jobs.append(ChaosJobResult(
+            tool="racon", state="ok", destination="slurm_cpu",
+            resubmit_chain=()))
+        result.jobs.append(ChaosJobResult(
+            tool="racon", state="deleted", destination=None,
+            resubmit_chain=(), shed_reason="queue_full"))
+        assert (result.survived, result.shed, result.lost) == (1, 1, 1)
+        data = result.to_dict()
+        assert data["survived"] == 1
+        assert data["shed"] == 1
+        assert data["lost"] == 1
+        assert result.jobs[1].to_dict()["shed_reason"] == "queue_full"
+        assert not result.all_ok  # the loss, not the shed, breaks all_ok
+
+    def test_serialisation_carries_the_shed_key(self):
+        data = run_chaos(KILLER_PLAN, jobs=4, resilient=True).to_dict()
+        assert data["shed"] == 0
+        assert '"shed"' in run_chaos(KILLER_PLAN, jobs=4).to_json()
+
+    def test_burst_storm_chaos_json_is_byte_stable(self):
+        first = run_chaos(build_scenario("burst-storm", seed=1),
+                          jobs=6).to_json()
+        second = run_chaos(build_scenario("burst-storm", seed=1),
+                           jobs=6).to_json()
+        assert first == second

@@ -19,7 +19,7 @@ EXAMPLES = REPO_ROOT / "examples" / "configs"
 
 ALL_COMMANDS = ("info", "smi", "topo", "racon", "bonito", "cases",
                 "experiment", "trace", "lint", "faults", "verify", "bench",
-                "race")
+                "race", "storm")
 
 
 def test_parser_registers_every_command():
@@ -67,3 +67,9 @@ def test_usage_errors_are_exit_2(capsys):
     assert main(["verify"]) == 2
     assert main(["faults", "--plan", "no/such/plan.json"]) == 2
     capsys.readouterr()
+
+
+def test_storm_smoke(capsys):
+    assert main(["storm", "--jobs", "16", "--no-faults"]) == 0
+    out = capsys.readouterr().out
+    assert "lost (admitted)" in out
