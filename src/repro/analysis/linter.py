@@ -9,13 +9,24 @@ runtime.  ``.py`` files go through the AST passes.  Cross-file checks
 job_conf in its own directory, falling back to the only job_conf in the
 run.
 
+Python files additionally run the PERF6xx performance family (hotness
+seeded from ``@hot_path`` annotations; ``python -m repro perf`` adds
+profile-guided seeding and the full report).
+
 Suppressions:
 
 * XML — a comment anywhere in the file:
   ``<!-- gyan-lint: disable=GYAN103 -->`` (comma-separate several IDs);
 * Python — a trailing comment on the offending line:
   ``# gyan-lint: disable=SRC201``, or file-wide with
-  ``# gyan-lint: disable-file=SRC201``.
+  ``# gyan-lint: disable-file=SRC201``; the richer
+  ``# gyan: disable=<RULE>`` form additionally covers a whole function
+  when placed on its ``def`` (or decorator) line, and warns (SUP001)
+  when it suppressed nothing — see
+  :mod:`repro.analysis.suppressions`.
+
+``--baseline FILE`` subtracts a previously captured finding set so only
+*new* findings affect the exit code (:mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
@@ -51,6 +62,8 @@ class LintOptions:
     device_count: int = 2
     fail_on: Severity = Severity.ERROR
     output_format: str = "text"  # 'text' | 'json'
+    baseline: str | None = None
+    write_baseline_path: str | None = None
 
 
 @dataclass
@@ -60,6 +73,7 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     errors: list[str] = field(default_factory=list)  # usage errors (bad paths)
+    baselined: int = 0  # findings subtracted by --baseline
 
     def exit_code(self, fail_on: Severity) -> int:
         if self.errors:
@@ -75,6 +89,8 @@ class LintReport:
             f"{self.files_checked} file(s) checked, "
             f"{len(self.findings)} finding(s)"
         )
+        if self.baselined:
+            summary += f", {self.baselined} baselined"
         if self.findings:
             counts: dict[str, int] = {}
             for f in self.findings:
@@ -191,6 +207,22 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
     job_confs: dict[Path, object] = {}  # path -> parsed JobConfig
     tools: list[tuple[Path, object]] = []  # (path, ToolDefinition)
 
+    # PERF6xx needs the whole python file set at once (hotness
+    # propagates across modules), so it runs before the per-file loop.
+    # Inside `repro lint` the hot model is annotation-seeded only; the
+    # profile-guided variant is `repro perf`.
+    from repro.analysis.perf.driver import analyze_sources as _perf_analyze
+
+    py_sources = [
+        (str(path), texts[path])
+        for path in files
+        if path in texts and kinds.get(path) == "python"
+    ]
+    perf_findings, _graph, _model = _perf_analyze(py_sources)
+    perf_by_path: dict[str, list[Finding]] = {}
+    for finding in perf_findings:
+        perf_by_path.setdefault(finding.path or "", []).append(finding)
+
     for path, text in texts.items():
         kind = kinds[path]
         if kind == "skip":
@@ -203,6 +235,7 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
 
             findings = analyze_source_text(text, str(path))
             findings.extend(analyze_det_text(text, str(path)))
+            findings.extend(perf_by_path.get(str(path), []))
         elif kind == "job_conf":
             config, findings = analyze_job_conf_text(text, str(path), ctx)
             if config is not None:
@@ -219,7 +252,18 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
 
             findings = [GYAN100.finding("XML is not well-formed", str(path))]
         # Any other root tag: not a Galaxy config — skip silently.
-        report.findings.extend(apply_suppressions(findings, text))
+        if kind == "python":
+            # The richer engine: def-scoped `# gyan: disable=` pragmas
+            # with unused-suppression accounting (all AST families are
+            # active in a lint run, so audit every pragma).
+            from repro.analysis.suppressions import SuppressionSet
+
+            suppressions = SuppressionSet.parse(text)
+            report.findings.extend(
+                suppressions.apply(findings, str(path), active_prefixes=None)
+            )
+        else:
+            report.findings.extend(apply_suppressions(findings, text))
         report.files_checked += 1
 
     # Cross-file: container tools vs. their destinations.
@@ -231,6 +275,24 @@ def lint_paths(paths: list[str], options: LintOptions | None = None) -> LintRepo
         report.findings.extend(apply_suppressions(cross, texts[path]))
 
     report.findings.sort(key=finding_sort_key)
+
+    if options.baseline is not None:
+        from repro.analysis.baseline import apply_baseline, load_baseline
+
+        try:
+            budgets = load_baseline(options.baseline)
+        except (OSError, ValueError) as exc:
+            report.errors.append(f"cannot load baseline {options.baseline}: {exc}")
+            return report
+        report.findings, report.baselined = apply_baseline(
+            report.findings, budgets
+        )
+
+    if options.write_baseline_path is not None:
+        from repro.analysis.baseline import write_baseline
+
+        write_baseline(report.findings, options.write_baseline_path)
+
     return report
 
 

@@ -1,0 +1,267 @@
+"""gyan-perf orchestration: call graph → hot model → PERF6xx findings.
+
+The run has four stages:
+
+1. collect every ``.py`` file reachable from the given paths;
+2. build the static call graph over all of them at once (hotness must
+   propagate across module boundaries);
+3. seed the hot model from ``@hot_path`` annotations and, when a
+   ``gyan.bench/v1`` profile is supplied, from the scenario→entry-point
+   manifest (profile-guided seeding);
+4. run the PERF6xx AST checks per file and attribute every hit to its
+   enclosing function: hits in hot functions fire at **error** severity
+   and carry the seed→function call chain; everywhere else they
+   downgrade to **info**.
+
+The JSON report (``gyan.perf/v1``) is byte-deterministic: sorted
+findings, sorted keys, no timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.findings import Finding, Severity, worst_severity
+from repro.analysis.perf.callgraph import CallGraph, build_call_graph
+from repro.analysis.perf.hotmodel import HotModel, build_hot_model, profile_seeds
+from repro.analysis.perf.perf_rules import perf_hits
+from repro.analysis.suppressions import SuppressionSet
+
+#: Exit codes, shared with gyan-lint.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+PERF_SCHEMA = "gyan.perf/v1"
+
+
+@dataclass(frozen=True)
+class PerfFinding(Finding):
+    """A lint finding enriched with call-graph attribution."""
+
+    function: str | None = None  #: enclosing function's qname
+    hot: bool = False
+    chain: str | None = None  #: rendered seed→function path when hot
+
+    def as_dict(self) -> dict:
+        data = super().as_dict()
+        data["function"] = self.function
+        data["hot"] = self.hot
+        data["chain"] = self.chain
+        return data
+
+    def format_text(self) -> str:
+        text = super().format_text()
+        if self.chain:
+            text += f" [hot via {self.chain}]"
+        return text
+
+
+@dataclass
+class PerfOptions:
+    """Knobs the CLI exposes."""
+
+    profile: str | None = None  #: gyan.bench/v1 report path, or None
+    fail_on: Severity = Severity.ERROR
+    output_format: str = "text"  # 'text' | 'json'
+    baseline: str | None = None
+    write_baseline_path: str | None = None
+
+
+@dataclass
+class PerfReport:
+    """Everything one gyan-perf run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    graph_functions: int = 0
+    graph_edges: int = 0
+    hot_functions: int = 0
+    seeds: list[str] = field(default_factory=list)
+    unresolved_seeds: list[str] = field(default_factory=list)
+    baselined: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    def exit_code(self, fail_on: Severity) -> int:
+        if self.errors:
+            return EXIT_USAGE
+        worst = worst_severity(self.findings)
+        if worst is not None and worst >= fail_on:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def render_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        summary = (
+            f"{self.files_checked} file(s), "
+            f"{self.graph_functions} function(s), "
+            f"{self.hot_functions} hot via {len(self.seeds)} seed(s); "
+            f"{len(self.findings)} finding(s)"
+        )
+        if self.baselined:
+            summary += f", {self.baselined} baselined"
+        if self.unresolved_seeds:
+            lines.append(
+                "warning: unresolved profile entry points: "
+                + ", ".join(self.unresolved_seeds)
+            )
+        return "\n".join(lines + [summary])
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": PERF_SCHEMA,
+                "files_checked": self.files_checked,
+                "graph": {
+                    "functions": self.graph_functions,
+                    "edges": self.graph_edges,
+                },
+                "hot": {
+                    "functions": self.hot_functions,
+                    "seeds": self.seeds,
+                    "unresolved_seeds": self.unresolved_seeds,
+                },
+                "baselined": self.baselined,
+                "findings": [f.as_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def discover_python_files(paths: list[str]) -> tuple[list[Path], list[str]]:
+    """Expand files/directories into ``.py`` files, reporting bad paths."""
+    files: list[Path] = []
+    errors: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            errors.append(f"no such file or directory: {raw}")
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique, errors
+
+
+def analyze_sources(
+    sources: list[tuple[str, str]],
+    profile: list[tuple[str, str]] | None = None,
+) -> tuple[list[Finding], CallGraph, HotModel]:
+    """PERF6xx findings for ``(path, text)`` pairs, plus the models.
+
+    This is the shared engine: ``repro perf`` calls it with a bench
+    profile; ``repro lint`` calls it with ``profile=None`` so hotness
+    comes from ``@hot_path`` annotations alone.  Findings come back
+    *unsuppressed* — callers own suppression and sorting.
+    """
+    graph, _errors = build_call_graph(sources)
+    model = build_hot_model(graph, profile)
+
+    findings: list[Finding] = []
+    for path, _text in sources:
+        info = graph.module_for_path(path)
+        if info is None:
+            continue  # unparseable; the source family reports SRC syntax
+        for hit in perf_hits(info.tree):
+            node = graph.enclosing(path, hit.line)
+            qname = node.qname if node is not None else None
+            hot = qname is not None and model.is_hot(qname)
+            findings.append(
+                PerfFinding(
+                    rule_id=hit.rule.rule_id,
+                    severity=Severity.ERROR if hot else Severity.INFO,
+                    message=hit.message,
+                    path=path,
+                    line=hit.line,
+                    suggestion=hit.suggestion,
+                    function=qname,
+                    hot=hot,
+                    chain=model.chain_for(qname) if hot and qname else None,
+                )
+            )
+    return findings, graph, model
+
+
+def run_perf(paths: list[str], options: PerfOptions | None = None) -> PerfReport:
+    """Run gyan-perf over every ``.py`` file reachable from ``paths``."""
+    options = options or PerfOptions()
+    report = PerfReport()
+
+    files, errors = discover_python_files(paths)
+    report.errors.extend(errors)
+    if report.errors:
+        return report
+
+    sources: list[tuple[str, str]] = []
+    texts: dict[str, str] = {}
+    for path in files:
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            report.errors.append(f"cannot read {path}: {exc}")
+            return report
+        sources.append((str(path), text))
+        texts[str(path)] = text
+
+    profile: list[tuple[str, str]] | None = None
+    if options.profile is not None:
+        try:
+            profile = profile_seeds(options.profile)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            report.errors.append(f"cannot load profile {options.profile}: {exc}")
+            return report
+
+    findings, graph, model = analyze_sources(sources, profile)
+    report.files_checked = len(sources)
+    report.graph_functions = len(graph.nodes)
+    report.graph_edges = graph.edge_count()
+    report.hot_functions = len(model.hot)
+    report.seeds = model.seeds
+    report.unresolved_seeds = model.unresolved_seeds
+
+    # Suppressions (``# gyan: disable=…``), audited for the PERF/SUP
+    # families only — this run evaluated nothing else.
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path or "", []).append(finding)
+    kept: list[Finding] = []
+    for path_str, text in texts.items():
+        suppressions = SuppressionSet.parse(text)
+        kept.extend(
+            suppressions.apply(
+                by_path.get(path_str, []), path_str, active_prefixes={"PERF"}
+            )
+        )
+    kept.sort(key=_sort_key)
+
+    if options.baseline is not None:
+        try:
+            budgets = load_baseline(options.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            report.errors.append(
+                f"cannot load baseline {options.baseline}: {exc}"
+            )
+            return report
+        kept, report.baselined = apply_baseline(kept, budgets)
+
+    report.findings = kept
+
+    if options.write_baseline_path is not None:
+        write_baseline(report.findings, options.write_baseline_path)
+
+    return report
+
+
+def _sort_key(f: Finding) -> tuple:
+    return (f.path or "", f.line or 0, f.rule_id, f.message, int(f.severity))

@@ -229,9 +229,9 @@ def _candidate_orders(
     seen = {identity}
     orders: list[tuple[int, ...]] = []
     attempts = 0
+    order = list(identity)  # shuffled in place; tuple() snapshots below
     while len(orders) < permutations and attempts < permutations * 10:
         attempts += 1
-        order = list(identity)
         rng.shuffle(order)
         candidate = tuple(order)
         if candidate not in seen:

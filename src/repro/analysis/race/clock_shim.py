@@ -176,13 +176,16 @@ class PermutingClock(VirtualClock):
         """Fire one instant's entries, permuting unkeyed tie groups."""
         # ``batch`` arrives heap-ordered: (key, seq) within the instant.
         plan: list[tuple[TimerHandle, str]] = []  # (handle, attribution label)
+        group: list[TimerHandle] = []  # reused across tie groups
         i = 0
         while i < len(batch):
             j = i
             key = batch[i][1]
+            group.clear()
             while j < len(batch) and batch[j][1] == key:
+                if not batch[j][3].cancelled:
+                    group.append(batch[j][3])
                 j += 1
-            group = [entry[3] for entry in batch[i:j] if not entry[3].cancelled]
             if key == "" and len(group) >= 2:
                 tie_index = len(self.ties)
                 self.ties.append(

@@ -20,7 +20,6 @@ from repro.analysis.linter import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
-    apply_suppressions,
     discover_files,
     finding_sort_key,
 )
@@ -107,6 +106,9 @@ class RaceReport:
 
 
 def _static_pass(options: RaceOptions, report: RaceReport) -> None:
+    # Imported lazily to match the linter (which imports this module).
+    from repro.analysis.suppressions import SuppressionSet
+
     files, errors = discover_files(options.paths)
     report.errors.extend(errors)
     for path in files:
@@ -118,7 +120,13 @@ def _static_pass(options: RaceOptions, report: RaceReport) -> None:
             report.errors.append(f"cannot read {path}: {exc}")
             continue
         findings = analyze_det_text(text, str(path))
-        report.findings.extend(apply_suppressions(findings, text))
+        # Only DET pragmas are audited for staleness: a PERF6xx
+        # suppression in the same file belongs to a family this pass
+        # never evaluates.
+        suppressions = SuppressionSet.parse(text)
+        report.findings.extend(
+            suppressions.apply(findings, str(path), active_prefixes={"DET"})
+        )
         report.files_checked += 1
 
 

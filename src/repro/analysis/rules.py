@@ -78,6 +78,7 @@ REGISTRY = RuleRegistry()
 #: grouped ``--list-rules`` prints under each family header.
 FAMILY_ORDER: tuple[str, ...] = (
     "config", "source", "sanitizer", "verifier", "determinism",
+    "performance",
 )
 FAMILY_DOCS: dict[str, str] = {
     "config": "GYAN1xx — static checks on job_conf/tool XML",
@@ -87,6 +88,9 @@ FAMILY_DOCS: dict[str, str] = {
                 "(python -m repro verify)",
     "determinism": "DET4xx static + DET5xx schedule-permutation checks "
                    "(python -m repro race)",
+    "performance": "PERF6xx — profile-guided hot-path checks "
+                   "(python -m repro perf); error on hot paths, "
+                   "info elsewhere",
 }
 
 
@@ -183,6 +187,13 @@ SRC202 = _rule(
     "A device or system query on an NVML handle constructed in the same "
     "scope appears lexically before its nvmlInit() call; the real pynvml "
     "raises NVML_ERROR_UNINITIALIZED here.",
+)
+SUP001 = _rule(
+    "SUP001", "unused suppression comment", Severity.WARNING, "source",
+    "A `# gyan: disable=<RULE>` comment suppressed nothing: no finding "
+    "of that rule was raised on the suppressed line or inside the "
+    "suppressed function. Stale suppressions hide future regressions — "
+    "delete the comment or narrow it to the rules that still fire.",
 )
 
 # --------------------------------------------------------------------- #
@@ -391,6 +402,66 @@ DET501 = _rule(
     "finding carries the minimal tie-flip schedule; replay it with "
     "`python -m repro race --schedule`.",
 )
+# --------------------------------------------------------------------- #
+# performance (PERF6xx) — profile-guided hot-path rules, fired by
+# ``python -m repro perf`` and the lint source pass.  Default severity
+# is ERROR; the driver downgrades findings outside the hot set to INFO.
+# --------------------------------------------------------------------- #
+PERF601 = _rule(
+    "PERF601", "per-row rendering in an exporter loop", Severity.ERROR,
+    "performance",
+    "A loop (or comprehension) renders output one row at a time — an "
+    "unbuffered write() per iteration, a string built up with +=, or a "
+    "multi-field f-string formatted per row of a sample/record sequence. "
+    "On an exporter hot path every simulated sample pays the formatting "
+    "cost; render runs of identical values once and emit buffered "
+    "chunks (the CSV/Perfetto exporter smell).",
+)
+PERF602 = _rule(
+    "PERF602", "linear scan where an index API exists", Severity.ERROR,
+    "performance",
+    "A comprehension filters a timeline/span/sample sequence by "
+    "comparing per-element attributes (.time, .label, .job_id) — an "
+    "O(n) scan repeated per query. Timeline serves time windows via "
+    "bisect (between()) and labels from a per-label index (labelled()); "
+    "exporters should group records once into a dict instead of "
+    "rescanning per job.",
+)
+PERF603 = _rule(
+    "PERF603", "per-job device probe inside a loop", Severity.ERROR,
+    "performance",
+    "A loop body probes the device surface per iteration — an nvml* "
+    "query, get_gpu_usage_snapshot(), or a fresh snapshot construction "
+    "— bypassing the mapper's same-instant snapshot cache. A burst of "
+    "200 jobs should cost one nvidia-smi probe, not 200; hoist the "
+    "probe out of the loop or go through the cached mapper surface.",
+)
+PERF604 = _rule(
+    "PERF604", "per-tick timer chain where a span listener exists",
+    Severity.ERROR, "performance",
+    "A callback re-arms itself with call_at/call_later (or a loop "
+    "registers one timer per simulated tick): O(samples) heap "
+    "operations where the clock's span-listener API observes whole "
+    "quiescent spans in O(state changes). The §V-C monitor's move to "
+    "one span listener was ~52x on a 24 h job.",
+)
+PERF605 = _rule(
+    "PERF605", "fresh allocation in a clock-advance inner loop",
+    Severity.ERROR, "performance",
+    "A comprehension or list()/dict()/set() construction runs inside a "
+    "while-driven inner loop (the clock-advance/heap-drain shape): one "
+    "allocation per fired timer or per drained event. Hoist the "
+    "container out of the loop and reuse it.",
+)
+PERF606 = _rule(
+    "PERF606", "deep-copy cloning on a hot path", Severity.ERROR,
+    "performance",
+    "copy.deepcopy() or a json.loads(json.dumps(...)) round-trip clones "
+    "an object graph per call. Both walk every node and allocate "
+    "everything twice; on a hot path prefer explicit shallow copies of "
+    "the mutated fields, or immutable snapshots shared by reference.",
+)
+
 DET502 = _rule(
     "DET502", "conflicting same-instant callbacks share no tie-break key",
     Severity.WARNING, "determinism",

@@ -1,0 +1,205 @@
+"""Inline suppression comments shared by every AST rule family.
+
+Two syntaxes coexist:
+
+* ``# gyan-lint: disable=SRC201`` / ``disable-file=SRC201`` — the
+  original line/file-scoped form, kept working verbatim.
+* ``# gyan: disable=PERF601`` — the richer form.  On an ordinary line
+  it suppresses matching findings *on that line*; on a ``def`` line (or
+  one of its decorator lines) it suppresses matching findings anywhere
+  in that function's body.  Several IDs comma-separate.
+
+The richer form is accountable: every ``# gyan: disable=`` comment is
+tracked, and an ID that suppressed nothing raises SUP001 so stale
+suppressions cannot silently accumulate.  Only rule families *active in
+the current run* are audited — ``repro race --static-only`` runs DET
+rules alone, so a ``# gyan: disable=PERF601`` in the same file is not
+"unused" there, merely out of scope (``active_prefixes`` expresses
+this).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import SUP001
+
+#: Legacy syntax: line-scoped trailing comment or explicit file scope.
+_LEGACY_RE = re.compile(
+    r"gyan-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Z0-9, ]+)"
+)
+#: Current syntax (``gyan:`` prefix): line/def scope via ``disable=ID``,
+#: whole-file scope via ``disable-file=ID``.
+_GYAN_RE = re.compile(
+    r"#\s*gyan:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Z0-9, ]+)"
+)
+
+
+@dataclass
+class _Pragma:
+    """One ``# gyan: disable=`` comment and what it has matched so far."""
+
+    line: int  #: line the comment sits on
+    ids: tuple[str, ...]
+    scope: str  #: ``line`` | ``def`` | ``file``
+    span: tuple[int, int]  #: inclusive line range the pragma covers
+    used: set[str] = field(default_factory=set)
+
+
+def _split_ids(raw: str) -> tuple[str, ...]:
+    return tuple(
+        sorted({part.strip() for part in raw.split(",") if part.strip()})
+    )
+
+
+def _comment_lines(text: str) -> dict[int, str]:
+    """Real ``#`` comment tokens by line — docstrings that merely *show*
+    a suppression (like this module's) must not register one."""
+    comments: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to raw lines for files that do not tokenize; worst
+        # case a docstring example registers a pragma that then shows
+        # as unused — the file already has bigger problems.
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "#" in line:
+                comments[lineno] = line
+    return comments
+
+
+def _def_spans(text: str) -> list[tuple[int, int, int]]:
+    """(first-decorator-line, def-line, end-line) for every function."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return []
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            first = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            spans.append((first, node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+class SuppressionSet:
+    """Parsed suppressions for one Python file."""
+
+    def __init__(self) -> None:
+        self._legacy_file: set[str] = set()
+        self._legacy_line: dict[int, set[str]] = {}
+        self._pragmas: list[_Pragma] = []
+
+    @classmethod
+    def parse(cls, text: str) -> "SuppressionSet":
+        out = cls()
+        def_spans = _def_spans(text)
+        for lineno, line in sorted(_comment_lines(text).items()):
+            legacy = _LEGACY_RE.search(line)
+            if legacy:
+                ids = set(_split_ids(legacy.group("ids")))
+                if legacy.group("scope"):
+                    out._legacy_file |= ids
+                else:
+                    out._legacy_line.setdefault(lineno, set()).update(ids)
+            match = _GYAN_RE.search(line)
+            if not match:
+                continue
+            ids_t = _split_ids(match.group("ids"))
+            if not ids_t:
+                continue
+            if match.group("scope"):
+                out._pragmas.append(
+                    _Pragma(lineno, ids_t, "file", (1, 1 << 30))
+                )
+                continue
+            # A pragma on a def line (or one of its decorators) covers
+            # the whole function body; otherwise just its own line.
+            span = (lineno, lineno)
+            scope = "line"
+            for first, _def_line, end in def_spans:
+                if first <= lineno <= end and (
+                    lineno <= _def_line or lineno == first
+                ):
+                    # Sitting in the decorator/def header region.
+                    if first <= lineno <= _def_line:
+                        span = (first, end)
+                        scope = "def"
+                        break
+            out._pragmas.append(_Pragma(lineno, ids_t, scope, span))
+        return out
+
+    # -------------------------------------------------------------- #
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Drop suppressed findings, recording which pragmas fired."""
+        kept: list[Finding] = []
+        for finding in findings:
+            if finding.rule_id in self._legacy_file:
+                continue
+            line = finding.line
+            if line is not None and finding.rule_id in self._legacy_line.get(
+                line, set()
+            ):
+                continue
+            suppressed = False
+            for pragma in self._pragmas:
+                if finding.rule_id not in pragma.ids:
+                    continue
+                if pragma.scope == "file" or (
+                    line is not None
+                    and pragma.span[0] <= line <= pragma.span[1]
+                ):
+                    pragma.used.add(finding.rule_id)
+                    suppressed = True
+            if not suppressed:
+                kept.append(finding)
+        return kept
+
+    def unused_findings(
+        self, path: str, active_prefixes: set[str] | None = None
+    ) -> list[Finding]:
+        """SUP001 for every ``# gyan:`` ID that suppressed nothing.
+
+        ``active_prefixes`` limits the audit to rule families this run
+        actually evaluated (``{"DET"}`` for the race driver's static
+        pass); ``None`` audits everything.
+        """
+        out: list[Finding] = []
+        for pragma in self._pragmas:
+            for rule_id in pragma.ids:
+                if rule_id in pragma.used:
+                    continue
+                if active_prefixes is not None and not any(
+                    rule_id.startswith(p) for p in active_prefixes
+                ):
+                    continue
+                out.append(
+                    SUP001.finding(
+                        f"`# gyan: disable={rule_id}` suppressed nothing "
+                        f"({pragma.scope} scope)",
+                        path,
+                        line=pragma.line,
+                        suggestion="delete the stale suppression comment",
+                    )
+                )
+        return out
+
+    def apply(
+        self,
+        findings: list[Finding],
+        path: str,
+        active_prefixes: set[str] | None = None,
+    ) -> list[Finding]:
+        """filter() + unused_findings() in one call."""
+        kept = self.filter(findings)
+        kept.extend(self.unused_findings(path, active_prefixes))
+        return kept

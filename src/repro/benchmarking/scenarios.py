@@ -96,7 +96,10 @@ def _monitored_session(horizon_seconds: int):
         host.devices[1].sm_utilization = float((phase * 31) % 101)
 
     for hour in range(1, horizon_seconds // 3600):
-        host.clock.call_at(hour * 3600.0, flip)
+        # The per-hour timers ARE the workload this scenario measures —
+        # they force the monitor's span listener through many quiescent
+        # intervals, which is exactly what the benchmark times.
+        host.clock.call_at(hour * 3600.0, flip)  # gyan: disable=PERF604
     return host, monitor, job
 
 
@@ -119,6 +122,12 @@ def _long_job_scenario(horizon_seconds: int) -> BenchScenario:
         setup=setup,
         run=run,
         workload={"simulated_hours": horizon_seconds // 3600, "devices": 2},
+        entry_points=(
+            "repro.core.monitor.GPUUsageMonitor.start",
+            "repro.gpusim.clock.VirtualClock.advance",
+            "repro.core.monitor.GPUUsageMonitor.stop",
+            "repro.core.monitor.GPUUsageMonitor.statistics_report",
+        ),
     )
 
 
@@ -142,6 +151,7 @@ def _csv_scenario(horizon_seconds: int) -> BenchScenario:
         setup=setup,
         run=run,
         workload={"simulated_hours": horizon_seconds // 3600, "devices": 2},
+        entry_points=("repro.core.monitor.GPUUsageMonitor.to_csv",),
     )
 
 
@@ -181,6 +191,9 @@ def _burst_scenario(jobs: int, traced: bool = False) -> BenchScenario:
         setup=setup,
         run=run,
         workload={"jobs": jobs, "traced": traced},
+        entry_points=(
+            "repro.core.mapper.GpuComputationMapper.prepare_environment",
+        ),
     )
 
 
@@ -203,6 +216,7 @@ def _chaos_scenario() -> BenchScenario:
         setup=setup,
         run=run,
         workload={"scenario": "k80-die-midrun", "seed": 0},
+        entry_points=("repro.workloads.chaos.run_chaos",),
     )
 
 
@@ -232,6 +246,10 @@ def _race_overhead_scenario() -> BenchScenario:
         run=run,
         workload={"scenario": "k80-die-midrun", "seed": 0,
                   "instrumented": True},
+        entry_points=(
+            "repro.workloads.chaos.run_chaos",
+            "repro.analysis.race.clock_shim.PermutingClock.advance_to",
+        ),
     )
 
 
@@ -252,6 +270,7 @@ def _storm_scenario(jobs: int) -> BenchScenario:
         setup=setup,
         run=run,
         workload={"jobs": jobs, "scenario": "burst-storm", "seed": 0},
+        entry_points=("repro.workloads.storm.run_storm",),
     )
 
 
@@ -285,7 +304,26 @@ def _timeline_scenario(records: int, queries: int) -> BenchScenario:
         setup=setup,
         run=run,
         workload={"records": records, "queries": queries},
+        entry_points=(
+            "repro.gpusim.clock.Timeline.record",
+            "repro.gpusim.clock.Timeline.between",
+            "repro.gpusim.clock.Timeline.labelled",
+        ),
     )
+
+
+def scenario_entry_points() -> dict[str, tuple[str, ...]]:
+    """Scenario name → timed entry-point qnames, for gyan-perf.
+
+    This is the profile-guided seeding manifest: when a scenario name
+    appears in a ``gyan.bench`` report, gyan-perf marks these functions
+    (and everything they reach) hot.  Reading it off the scenario
+    objects keeps it in lock-step with what ``run`` actually drives.
+    """
+    return {
+        scenario.name: scenario.entry_points
+        for scenario in sim_core_suite(quick=True)
+    }
 
 
 def sim_core_suite(quick: bool = False) -> list[BenchScenario]:

@@ -39,6 +39,14 @@ Commands
     same-instant timer ties in the trace/chaos scenarios and
     byte-diffs the artifacts (DET5xx, with replayable minimal
     tie-flip schedules via ``--schedule``).
+``perf``
+    gyan-perf: the profile-guided static performance analyzer — builds
+    a call graph over the sources, seeds hotness from ``@hot_path``
+    annotations and the ``BENCH_sim_core.json`` scenario→entry-point
+    profile, and fires PERF6xx rules at error severity on hot paths
+    (info elsewhere), each hot finding carrying its seed→function
+    call chain.  Supports ``--baseline``/``--write-baseline`` for
+    ratcheted adoption.
 """
 
 from __future__ import annotations
@@ -336,10 +344,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
         device_count=args.devices,
         fail_on=Severity.from_name(args.fail_on),
         output_format=args.format,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
     )
     report = lint_paths(args.paths, options)
     for error in report.errors:
         print(f"lint: {error}", file=sys.stderr)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(options.fail_on)
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import Severity
+    from repro.analysis.linter import EXIT_CLEAN, EXIT_USAGE, list_rules_text
+    from repro.analysis.perf import PerfOptions, run_perf
+
+    if args.list_rules:
+        print(list_rules_text(), end="")
+        return EXIT_CLEAN
+
+    paths = args.paths or ["src/repro"]
+    profile: str | None = None
+    if not args.no_profile:
+        profile = args.profile
+        if profile is None and Path("BENCH_sim_core.json").is_file():
+            profile = "BENCH_sim_core.json"
+        elif profile is not None and not Path(profile).is_file():
+            print(f"perf: no such profile: {profile}", file=sys.stderr)
+            return EXIT_USAGE
+
+    options = PerfOptions(
+        profile=profile,
+        fail_on=Severity.from_name(args.fail_on),
+        output_format=args.format,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+    )
+    report = run_perf(paths, options)
+    for error in report.errors:
+        print(f"perf: {error}", file=sys.stderr)
     if args.format == "json":
         print(report.render_json())
     else:
@@ -648,7 +694,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "the paper's 2-die K80 testbed)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="subtract a gyan.baseline/v1 capture: only new "
+                           "findings affect the exit code (the ratchet)")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="capture this run's findings as a byte-"
+                           "deterministic baseline file")
     lint.set_defaults(func=cmd_lint)
+
+    perf = sub.add_parser(
+        "perf",
+        help="profile-guided static performance analysis (PERF6xx): "
+             "error on hot paths, info elsewhere",
+    )
+    perf.add_argument("paths", nargs="*",
+                      help="files or directories of .py sources "
+                           "(default: src/repro)")
+    perf.add_argument("--profile", default=None, metavar="FILE",
+                      help="gyan.bench/v1 report seeding the hot-path "
+                           "model (default: BENCH_sim_core.json when "
+                           "present)")
+    perf.add_argument("--no-profile", action="store_true",
+                      help="seed hotness from @hot_path annotations only")
+    perf.add_argument("--format", choices=("text", "json"), default="text",
+                      help="json emits the byte-deterministic gyan.perf/v1 "
+                           "report")
+    perf.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="lowest severity that makes the exit code "
+                           "nonzero")
+    perf.add_argument("--baseline", default=None, metavar="FILE",
+                      help="subtract a gyan.baseline/v1 capture: only new "
+                           "findings affect the exit code (the ratchet)")
+    perf.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="capture this run's findings as a byte-"
+                           "deterministic baseline file")
+    perf.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    perf.set_defaults(func=cmd_perf)
 
     faults = sub.add_parser(
         "faults", help="run a chaos scenario and report job survival"

@@ -31,6 +31,7 @@ from repro.galaxy.job import GalaxyJob
 from repro.galaxy.params import GPU_ENABLED_ENV_VAR
 from repro.gpusim.host import GPUHost
 from repro.gpusim.nvml import NvmlLibrary
+from repro.hotpath import hot_path
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NULL_TRACER
 from repro.resilience.breaker import BreakerOpenError, CircuitBreaker
@@ -265,6 +266,7 @@ class GpuComputationMapper:
             self._snapshot_cache = (self._cache_key(), snapshot)
         return snapshot
 
+    @hot_path
     def prepare_environment(self, job: GalaxyJob) -> dict[str, str]:
         """Pseudocode 2: env entries for a job about to be spawned.
 

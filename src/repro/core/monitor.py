@@ -33,6 +33,12 @@ from typing import Iterator, Sequence
 
 from repro.galaxy.job import GalaxyJob
 from repro.gpusim.host import GPUHost
+from repro.hotpath import hot_path
+
+#: Rows per chunk emitted by the buffered CSV writer.  Large enough to
+#: amortise the join/write per chunk, small enough to keep the streaming
+#: path's working set bounded (~1 MiB of text at typical row widths).
+_CSV_CHUNK_ROWS = 8192
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,7 @@ class DeviceSeries:
         "mem_util",
         "fb_used",
         "pcie_gen",
+        "run_lens",
         "util_min",
         "util_max",
         "util_sum",
@@ -96,6 +103,12 @@ class DeviceSeries:
         self.mem_util = array("d")
         self.fb_used = array("q")
         self.pcie_gen = array("q")
+        #: Lengths of maximal runs of identical (util, mem, fb, pcie)
+        #: observations, in append order.  Quiescent spans make these
+        #: runs long, and renderers exploit that: the CSV exporter
+        #: formats each run's value columns once instead of once per
+        #: row.  ``sum(run_lens) == len(self)`` always.
+        self.run_lens = array("q")
         self.util_min = float("inf")
         self.util_max = float("-inf")
         self.util_sum = 0.0
@@ -111,6 +124,7 @@ class DeviceSeries:
 
     def push(self, util: float, mem: float, fb: int, pcie: int) -> None:
         """Record one observation."""
+        self._extend_runs(util, mem, fb, pcie, 1)
         self.gpu_util.append(util)
         self.mem_util.append(mem)
         self.fb_used.append(fb)
@@ -119,11 +133,29 @@ class DeviceSeries:
 
     def push_run(self, util: float, mem: float, fb: int, pcie: int, n: int) -> None:
         """Record ``n`` identical observations (quiescent-span bulk path)."""
+        self._extend_runs(util, mem, fb, pcie, n)
         self.gpu_util.extend(array("d", (util,)) * n)
         self.mem_util.extend(array("d", (mem,)) * n)
         self.fb_used.extend(array("q", (fb,)) * n)
         self.pcie_gen.extend(array("q", (pcie,)) * n)
         self._accumulate(util, mem, fb, n)
+
+    def _extend_runs(self, util: float, mem: float, fb: int, pcie: int, n: int) -> None:
+        """Grow the last run by ``n`` when the values repeat, else open one.
+
+        Must run *before* the columns are extended — it compares against
+        the current last observation.
+        """
+        if (
+            self.run_lens
+            and self.gpu_util[-1] == util
+            and self.mem_util[-1] == mem
+            and self.fb_used[-1] == fb
+            and self.pcie_gen[-1] == pcie
+        ):
+            self.run_lens[-1] += n
+        else:
+            self.run_lens.append(n)
 
     def _accumulate(self, util: float, mem: float, fb: int, n: int) -> None:
         if util < self.util_min:
@@ -307,6 +339,7 @@ class GPUUsageMonitor:
     # ------------------------------------------------------------------ #
     # sampling machinery
     # ------------------------------------------------------------------ #
+    @hot_path
     def _on_span(self, start: float, end: float, closed: bool) -> None:
         """Bulk-sample every live session over a quiescent clock span.
 
@@ -373,34 +406,74 @@ class GPUUsageMonitor:
         """The sampling session of a (possibly finished) job."""
         return self.sessions[job_id]
 
+    @hot_path
     def to_csv(self, job_id: int) -> str:
         """The chronological .csv the paper's script writes per job.
 
-        Generated straight from the columnar store — one pass, no
-        per-device re-filtering and no sample-object materialisation.
+        Rendered run-aware: the value columns repeat for every tick of a
+        quiescent span, so each run's column suffix is formatted *once*
+        (see :attr:`DeviceSeries.run_lens`) and the timestamp once per
+        tick, shared across devices.  Per row, only two list appends
+        remain.  Output is byte-identical to the naive per-row
+        formatting.
         """
-        session = self.session_for(job_id)
-        header = (
+        return "".join(self._csv_chunks(self.session_for(job_id)))
+
+    def write_csv(self, job_id: int, fileobj) -> int:
+        """Stream the CSV to ``fileobj`` in bounded chunks.
+
+        The buffered sibling of :meth:`to_csv` for the dump-to-disk
+        path: the full document (tens of MiB for a long job) is never
+        materialised.  Returns the number of characters written.
+        """
+        written = 0
+        for chunk in self._csv_chunks(self.session_for(job_id)):
+            fileobj.write(chunk)
+            written += len(chunk)
+        return written
+
+    def _csv_chunks(self, session: MonitoredJob) -> Iterator[str]:
+        """The CSV document as a header chunk plus bounded row chunks."""
+        yield (
             "time,device,gpu_utilization,memory_utilization,fb_used_mib,pcie_generation\n"
         )
         times = session.times
-        rows = [
-            f"{times[tick]:.3f},{series.device_index},"
-            f"{series.gpu_util[tick]:.1f},{series.mem_util[tick]:.1f},"
-            f"{series.fb_used[tick]},{series.pcie_gen[tick]}\n"
-            for tick in range(len(times))
-            for series in session.series
-        ]
-        return header + "".join(rows)
+        count = len(times)
+        if count == 0:
+            return
+        # One timestamp string per tick (shared by every device's row)…
+        time_strs = [f"{t:.3f}" for t in times]
+        # …and one column-suffix string per *run*, expanded by reference.
+        suffix_columns: list[list[str]] = []
+        for series in session.series:
+            suffixes: list[str] = []
+            start = 0
+            for run in series.run_lens:
+                suffix = (
+                    f",{series.device_index},{series.gpu_util[start]:.1f},"
+                    f"{series.mem_util[start]:.1f},{series.fb_used[start]},"
+                    f"{series.pcie_gen[start]}\n"
+                )
+                suffixes.extend([suffix] * run)
+                start += run
+            suffix_columns.append(suffixes)
+        for base in range(0, count, _CSV_CHUNK_ROWS):
+            parts: list[str] = []
+            for tick in range(base, min(base + _CSV_CHUNK_ROWS, count)):
+                stamp = time_strs[tick]
+                for suffixes in suffix_columns:
+                    parts.append(stamp)
+                    parts.append(suffixes[tick])
+            yield "".join(parts)
 
     def dump(self, job_id: int, directory) -> list[str]:
         """Write the per-job files the paper's script produces.
 
         "Whenever it stops, a post-processing function is executed, and
         it generates .csv files and other log and statistic files"
-        (§V-C).  Writes ``job_<id>.csv`` (chronological samples) and
-        ``job_<id>_stats.txt`` (the min/max/avg report); returns the
-        written paths.
+        (§V-C).  Writes ``job_<id>.csv`` (chronological samples, streamed
+        through :meth:`write_csv`) and ``job_<id>_stats.txt`` (the
+        min/max/avg report); returns the written paths.
         """
         import pathlib
 
@@ -408,7 +481,8 @@ class GPUUsageMonitor:
         directory.mkdir(parents=True, exist_ok=True)
         csv_path = directory / f"job_{job_id}.csv"
         stats_path = directory / f"job_{job_id}_stats.txt"
-        csv_path.write_text(self.to_csv(job_id))
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            self.write_csv(job_id, fh)
         stats_path.write_text(self.statistics_report(job_id) + "\n")
         return [str(csv_path), str(stats_path)]
 

@@ -381,7 +381,9 @@ class GalaxyApp:
             # recovery destination (typically one carrying a
             # gpu_enabled_override so the CPU arm runs).
             target = self.job_config.destination(dest.resubmit_destination)
-            retry = GalaxyJob(tool=current.tool, params=dict(current.params))
+            # Each retry job must own an independent params dict — hop
+            # count is bounded by max_resubmit_hops, not the tick rate.
+            retry = GalaxyJob(tool=current.tool, params=dict(current.params))  # gyan: disable=PERF605
             retry.metrics.submit_time = self.node.clock.now
             self.jobs[retry.job_id] = retry
             current.metrics.resubmitted_as = retry.job_id

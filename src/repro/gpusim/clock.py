@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterator
 
 from repro.gpusim import footprint as _footprint
 from repro.gpusim.errors import ClockError
+from repro.hotpath import hot_path
 
 
 @dataclass(frozen=True, order=True)
@@ -213,6 +214,7 @@ class VirtualClock:
             raise ClockError(f"cannot advance by negative delta {delta}")
         return self.advance_to(self._now + delta)
 
+    @hot_path
     def advance_to(self, when: float) -> float:
         """Move time forward to the absolute instant ``when``.
 

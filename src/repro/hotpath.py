@@ -1,0 +1,39 @@
+"""The ``@hot_path`` annotation consumed by gyan-perf.
+
+A *hot path* is code whose per-call cost is multiplied by the scale the
+ROADMAP targets — mapper dispatch under a burst, the clock-advance inner
+loop, span listeners firing per quiescent interval, exporters rendering
+a row per sample.  gyan-perf (``python -m repro perf``) seeds its
+hot-path model from two sources: these annotations and the
+``BENCH_sim_core.json`` scenario→entry-point profile, then propagates
+hotness transitively through the static call graph.  PERF6xx rules fire
+at ``error`` severity on hot-marked code and downgrade to ``info``
+everywhere else.
+
+The decorator is a runtime no-op beyond tagging the function object —
+it never wraps, so decorated hot paths pay zero call overhead.  The
+analyzer recognises the decoration *statically* (by name in the AST),
+so annotated fixtures work without importing this module.
+
+This module is intentionally dependency-free: ``gpusim`` and ``core``
+import it, and they must not depend on :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+#: Attribute set on annotated callables (introspection/debugging aid;
+#: the static analyzer matches the decorator name, not this attribute).
+HOT_PATH_ATTR = "__gyan_hot_path__"
+
+
+def hot_path(func: _F) -> _F:
+    """Mark ``func`` as a known-hot entry point for gyan-perf.
+
+    Returns ``func`` unchanged (no wrapper, no call overhead).
+    """
+    setattr(func, HOT_PATH_ATTR, True)
+    return func

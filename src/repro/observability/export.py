@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.hotpath import hot_path
 from repro.observability.metrics import MetricsRegistry, format_value
 from repro.observability.tracing import Span, SpanEvent, Tracer
 
@@ -164,6 +165,7 @@ def chrome_trace_dict(
     }
 
 
+@hot_path
 def render_chrome_trace(
     tracer: Tracer, metadata: dict[str, Any] | None = None
 ) -> str:
@@ -173,6 +175,7 @@ def render_chrome_trace(
     ) + "\n"
 
 
+@hot_path
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry's Prometheus text exposition (byte-stable)."""
     return registry.render_prometheus()
@@ -222,28 +225,39 @@ def _timeline_rows(
     return rows
 
 
+@hot_path
 def render_job_timeline(tracer: Tracer, job_id: int | None = None) -> str:
-    """Per-job text timelines (all traced jobs when ``job_id`` is None)."""
+    """Per-job text timelines (all traced jobs when ``job_id`` is None).
+
+    Spans and events are grouped by job id in one pass up front — the
+    per-job rescans this replaced cost O(jobs × records).
+    """
     tracer.close_open_spans()
     base = _job_base(tracer)
     job_ids = [job_id] if job_id is not None else tracer.job_ids()
+    spans_by_job: dict[int | None, list[Span]] = {}
+    events_by_job: dict[int | None, list[SpanEvent]] = {}
+    for span in tracer.spans:
+        spans_by_job.setdefault(span.job_id, []).append(span)
+    for event in tracer.events:
+        events_by_job.setdefault(event.job_id, []).append(event)
     blocks: list[str] = []
     for jid in job_ids:
-        spans = [s for s in tracer.spans if s.job_id == jid]
-        events = [e for e in tracer.events if e.job_id == jid]
+        spans = spans_by_job.get(jid, [])
+        events = events_by_job.get(jid, [])
         if not spans and not events:
             continue
         root = next((s for s in spans if s.name == "job"), None)
-        header = f"job {_tid(jid, base)}"
+        header_parts = [f"job {_tid(jid, base)}"]
         if root is not None:
             tool = root.attributes.get("tool")
             state = root.attributes.get("state", "?")
             if tool:
-                header += f" ({tool})"
-            header += f" — {state}"
+                header_parts.append(f" ({tool})")
+            header_parts.append(f" — {state}")
             if root.end is not None:
-                header += f" in {root.end - root.start:.6f}s"
-        lines = [header]
+                header_parts.append(f" in {root.end - root.start:.6f}s")
+        lines = ["".join(header_parts)]
         lines.extend(
             text for _t, _s, text in _timeline_rows(spans, events, base)
         )

@@ -181,8 +181,13 @@ class Tracer:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def for_job(self, job_id: int) -> list[Span]:
-        """All spans of one job, in recording order."""
+    def for_job(self, job_id: int) -> list[Span]:  # gyan: disable=PERF602
+        """All spans of one job, in recording order.
+
+        A one-shot debugging accessor: exporters that visit every job
+        group the spans into a dict in a single pass instead (see
+        ``render_job_timeline``), so no hot path pays this scan.
+        """
         return [s for s in self.spans if s.job_id == job_id]
 
     def job_ids(self) -> list[int]:

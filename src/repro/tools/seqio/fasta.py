@@ -50,10 +50,10 @@ def write_fasta(records: Iterable[SeqRecord], line_width: int = 80) -> str:
         raise ValueError("line_width must be positive")
     out: list[str] = []
     for record in records:
-        header = f">{record.name}"
         if record.description:
-            header += f" {record.description}"
-        out.append(header)
+            out.append(f">{record.name} {record.description}")
+        else:
+            out.append(f">{record.name}")
         seq = record.sequence
         for start in range(0, len(seq), line_width):
             out.append(seq[start : start + line_width])

@@ -1,0 +1,25 @@
+"""PERF601 fixture: per-row rendering inside an exporter loop."""
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def render_rows(samples) -> str:
+    out = ""
+    for value in samples:
+        out += f"{value}\n"
+    return out
+
+
+@hot_path
+def stream_rows(samples, sink) -> None:
+    for value in samples:
+        sink.write(f"{value}\n")
+
+
+@hot_path
+def tabulate(rows) -> list:
+    out = []
+    for row in rows:
+        out.append(f"{row.when},{row.device},{row.util},{row.mem}\n")
+    return out

@@ -1,0 +1,8 @@
+"""PERF602 fixture: linear scan where an indexed API exists."""
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def spans_for_job(spans, job_id):
+    return [s for s in spans if s.job_id == job_id]

@@ -1,0 +1,11 @@
+"""PERF603 fixture: device probe repeated inside a loop."""
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def poll(device, samples):
+    readings = []
+    for _ in samples:
+        readings.append(device.nvmlDeviceGetUtilizationRates())
+    return readings

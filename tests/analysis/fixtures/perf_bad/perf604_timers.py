@@ -1,0 +1,14 @@
+"""PERF604 fixture: self-rearming timer chain and per-tick loop."""
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def sample(now, clock) -> None:
+    clock.call_later(1.0, sample)
+
+
+@hot_path
+def arm_per_tick(clock, ticks, on_tick) -> None:
+    for tick in range(ticks):
+        clock.call_at(float(tick), on_tick)

@@ -1,0 +1,12 @@
+"""PERF605 fixture: fresh container per pass of a while loop."""
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def drain(queue) -> int:
+    drained = 0
+    while queue:
+        batch = [item for item in queue.pop()]
+        drained += len(batch)
+    return drained

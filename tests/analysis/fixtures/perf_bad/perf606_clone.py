@@ -1,0 +1,16 @@
+"""PERF606 fixture: deepcopy / json round-trip cloning."""
+
+import copy
+import json
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def snapshot(state):
+    return copy.deepcopy(state)
+
+
+@hot_path
+def json_clone(payload):
+    return json.loads(json.dumps(payload))

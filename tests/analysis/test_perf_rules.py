@@ -1,0 +1,109 @@
+"""PERF6xx rule detectors: one fixture per rule, plus negative cases."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf.perf_rules import perf_hits
+
+PERF_BAD = Path(__file__).parent / "fixtures" / "perf_bad"
+
+
+def _hits_for(text: str):
+    return perf_hits(ast.parse(text))
+
+
+def _rules(text: str) -> set[str]:
+    return {hit.rule.rule_id for hit in _hits_for(text)}
+
+
+@pytest.mark.parametrize("fixture,rule_id", [
+    ("perf601_per_row.py", "PERF601"),
+    ("perf602_scan.py", "PERF602"),
+    ("perf603_probe.py", "PERF603"),
+    ("perf604_timers.py", "PERF604"),
+    ("perf605_alloc.py", "PERF605"),
+    ("perf606_clone.py", "PERF606"),
+])
+def test_each_fixture_trips_its_rule(fixture, rule_id):
+    rules = _rules((PERF_BAD / fixture).read_text())
+    assert rules == {rule_id}
+
+
+def test_perf601_all_three_arms_fire():
+    hits = _hits_for((PERF_BAD / "perf601_per_row.py").read_text())
+    assert len(hits) == 3  # +=, per-row write(), multi-field append
+
+
+def test_perf604_both_arms_fire():
+    hits = _hits_for((PERF_BAD / "perf604_timers.py").read_text())
+    messages = [hit.message for hit in hits]
+    assert any("re-arms" in m for m in messages)
+    assert any("range() loop" in m for m in messages)
+
+
+def test_hits_sorted_by_position():
+    hits = _hits_for((PERF_BAD / "perf601_per_row.py").read_text())
+    keys = [(h.line, h.rule.rule_id, h.message) for h in hits]
+    assert keys == sorted(keys)
+
+
+class TestNegatives:
+    def test_presence_filter_is_not_a_scan(self):
+        """``is not None`` filtering is one inherent pass, not PERF602."""
+        assert _rules(
+            "def ids(spans):\n"
+            "    return [s for s in spans if s.job_id is not None]\n"
+        ) == set()
+
+    def test_two_field_fstring_append_is_benign(self):
+        """Short per-record headers (e.g. FASTA) stay under PERF601's bar."""
+        assert _rules(
+            "def headers(records):\n"
+            "    out = []\n"
+            "    for r in records:\n"
+            "        out.append(f'>{r.name} {r.description}')\n"
+            "    return out\n"
+        ) == set()
+
+    def test_argless_constructor_in_while_is_benign(self):
+        assert _rules(
+            "def drain(q):\n"
+            "    while q:\n"
+            "        fresh = list()\n"
+            "        q.pop()\n"
+        ) == set()
+
+    def test_numeric_augassign_in_loop_is_benign(self):
+        assert _rules(
+            "def total(samples):\n"
+            "    n = 0\n"
+            "    for s in samples:\n"
+            "        n += 1\n"
+            "    return n\n"
+        ) == set()
+
+    def test_probe_outside_loop_is_benign(self):
+        assert _rules(
+            "def once(device):\n"
+            "    return device.nvmlDeviceGetUtilizationRates()\n"
+        ) == set()
+
+    def test_timer_registration_outside_range_loop_is_benign(self):
+        assert _rules(
+            "def arm(clock, cb):\n"
+            "    clock.call_at(1.0, cb)\n"
+        ) == set()
+
+    def test_nested_function_bodies_not_attributed_to_outer_loop(self):
+        """A def inside a loop body starts a new scope: its internals are
+        not 'inside the loop' for the loop-sensitive rules."""
+        assert _rules(
+            "def outer(items):\n"
+            "    for item in items:\n"
+            "        def cb(now):\n"
+            "            return f'{now}'\n"
+        ) == set()

@@ -234,3 +234,93 @@ class TestSparkline:
             assert hi > lo  # every bucket non-empty
         line = GPUUsageMonitor._sparkline(values, width=width)
         assert line == "@" * width
+
+
+def _naive_csv(session):
+    """The reference per-row renderer the run-aware writer must match."""
+    out = [
+        "time,device,gpu_utilization,memory_utilization,fb_used_mib,"
+        "pcie_generation\n"
+    ]
+    for s in session.samples:
+        out.append(
+            f"{s.time:.3f},{s.device_index},{s.gpu_utilization:.1f},"
+            f"{s.memory_utilization:.1f},{s.fb_used_mib},{s.pcie_generation}\n"
+        )
+    return "".join(out)
+
+
+class TestCsvStreaming:
+    """The buffered run-aware CSV writer (see docs/performance.md)."""
+
+    def _varied_session(self, host, seconds=40):
+        """A session whose device values change mid-run (several runs)."""
+        monitor = GPUUsageMonitor(host, interval=1.0)
+        job = make_job()
+        monitor.start(job)
+
+        def flip(now):
+            phase = int(now) // 10
+            host.devices[0].sm_utilization = float((phase * 17) % 101)
+            host.devices[1].sm_utilization = float((phase * 31) % 101)
+
+        for t in range(10, seconds, 10):
+            host.clock.call_at(float(t), flip)
+        host.clock.advance(float(seconds))
+        monitor.stop(job)
+        return monitor, job
+
+    def test_byte_identical_to_naive_rendering(self, host):
+        monitor, job = self._varied_session(host)
+        session = monitor.session_for(job.job_id)
+        assert monitor.to_csv(job.job_id) == _naive_csv(session)
+
+    def test_write_csv_streams_the_same_bytes(self, host):
+        import io
+
+        monitor, job = self._varied_session(host)
+        sink = io.StringIO()
+        written = monitor.write_csv(job.job_id, sink)
+        document = monitor.to_csv(job.job_id)
+        assert sink.getvalue() == document
+        assert written == len(document)
+
+    def test_run_lengths_tile_every_series(self, host):
+        monitor, job = self._varied_session(host)
+        session = monitor.session_for(job.job_id)
+        for series in session.series:
+            assert sum(series.run_lens) == len(series)
+            # The flips above guarantee more than one run, so the
+            # run-compression actually exercised the boundary logic.
+            assert len(series.run_lens) > 1
+
+    def test_dump_writes_streamed_csv(self, host, tmp_path):
+        monitor, job = self._varied_session(host)
+        paths = monitor.dump(job.job_id, tmp_path)
+        csv_path = next(p for p in paths if p.endswith(".csv"))
+        with open(csv_path, encoding="utf-8") as fh:
+            assert fh.read() == monitor.to_csv(job.job_id)
+
+    def test_empty_session_renders_header_only(self, host):
+        monitor = GPUUsageMonitor(host)
+        job = make_job()
+        monitor.start(job)
+        monitor.stop(job)
+        csv = monitor.to_csv(job.job_id)
+        lines = csv.splitlines()
+        assert lines[0].startswith("time,device,")
+        # start+stop at the same instant still records one tick.
+        assert len(lines) == 1 + len(monitor.session_for(job.job_id).samples)
+
+    def test_chunking_boundary_exact(self, host):
+        """A session crossing the chunk size still renders losslessly."""
+        from repro.core import monitor as monitor_mod
+
+        original = monitor_mod._CSV_CHUNK_ROWS
+        monitor_mod._CSV_CHUNK_ROWS = 8
+        try:
+            monitor, job = self._varied_session(host, seconds=37)
+            session = monitor.session_for(job.job_id)
+            assert monitor.to_csv(job.job_id) == _naive_csv(session)
+        finally:
+            monitor_mod._CSV_CHUNK_ROWS = original

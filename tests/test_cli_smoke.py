@@ -19,7 +19,7 @@ EXAMPLES = REPO_ROOT / "examples" / "configs"
 
 ALL_COMMANDS = ("info", "smi", "topo", "racon", "bonito", "cases",
                 "experiment", "trace", "lint", "faults", "verify", "bench",
-                "race", "storm")
+                "race", "storm", "perf")
 
 
 def test_parser_registers_every_command():
@@ -49,6 +49,13 @@ def test_lint_smoke(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "[verifier]" in out and "VER401" in out
+
+
+def test_perf_smoke(capsys):
+    assert main(["perf", "--no-profile", str(REPO_ROOT / "src")]) == 0
+    assert "finding(s)" in capsys.readouterr().out
+    assert main(["perf", "--list-rules"]) == 0
+    assert "PERF601" in capsys.readouterr().out
 
 
 def test_faults_smoke(capsys):
