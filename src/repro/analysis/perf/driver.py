@@ -65,6 +65,10 @@ class PerfOptions:
     """Knobs the CLI exposes."""
 
     profile: str | None = None  #: gyan.bench/v1 report path, or None
+    #: Additional gyan.bench/v1 reports; seeds from every listed profile
+    #: are merged (the CLI seeds from both ``BENCH_sim_core.json`` and
+    #: ``BENCH_fleet_core.json`` when present).
+    profiles: tuple[str, ...] = ()
     fail_on: Severity = Severity.ERROR
     output_format: str = "text"  # 'text' | 'json'
     baseline: str | None = None
@@ -214,13 +218,22 @@ def run_perf(paths: list[str], options: PerfOptions | None = None) -> PerfReport
         sources.append((str(path), text))
         texts[str(path)] = text
 
+    profile_paths = [
+        path
+        for path in (options.profile, *options.profiles)
+        if path is not None
+    ]
     profile: list[tuple[str, str]] | None = None
-    if options.profile is not None:
-        try:
-            profile = profile_seeds(options.profile)
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            report.errors.append(f"cannot load profile {options.profile}: {exc}")
-            return report
+    if profile_paths:
+        profile = []
+        for profile_path in profile_paths:
+            try:
+                profile.extend(profile_seeds(profile_path))
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                report.errors.append(
+                    f"cannot load profile {profile_path}: {exc}"
+                )
+                return report
 
     findings, graph, model = analyze_sources(sources, profile)
     report.files_checked = len(sources)

@@ -1,0 +1,309 @@
+"""Named fleet-core scenarios for ``python -m repro bench --suite fleet_core``.
+
+Where the sim-core suite times the single-host hot paths, this suite
+times the fleet tier end to end:
+
+``fleet-map-throughput``
+    The headline: one simulated day of diurnal traffic — ≥1M jobs
+    across 1000 nodes × 8 GPUs — through the columnar
+    :class:`~repro.cluster.fleet.FleetSimulator`.  ``work_units`` is
+    mapping decisions, so the report's ``work_units_per_second`` is the
+    *mapped-jobs-per-wall-second* figure and ``simulated_seconds``
+    yields sim-seconds per wall-second.
+``fleet-storm-surge``
+    A deliberately undersized fleet hit by a burst storm: bounded
+    queues fill, deadlines expire, degradable classes fall to the CPU
+    arm and node failures force resubmit chains — the resilience-path
+    cost at fleet scale.
+``fleet-burst-batched`` / ``fleet-burst-perjob``
+    The same same-instant GPU burst through one real GYAN host, mapped
+    via :meth:`~repro.core.mapper.GpuComputationMapper.
+    prepare_environment_batch` versus the historical per-job loop — the
+    batched-decision amortisation, measured on the object path the
+    fleet tier's columnar mapping mirrors.
+``fleet-node-select``
+    Indexed least-loaded node selection over a large static cluster
+    through :class:`~repro.cluster.multinode.NodeLoadIndex` — the
+    O(log n) selection structure versus the historical per-call scan.
+``diurnal-generate``
+    The seeded diurnal workload generator producing a ≥1M-job day —
+    the cost of the arrival side of the headline scenario.
+
+Sizes shrink under ``--quick`` (the CI ``fleet-bench-smoke``
+configuration: 10 nodes, ~10k jobs) but the schema and scenario set
+stay identical.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking.harness import BenchScenario, RunOutcome
+
+SUITE_NAME = "fleet_core"
+
+#: The headline fleet: the paper's cluster-shaped claim at scale.
+FLEET_NODES = 1000
+FLEET_GPUS_PER_NODE = 8
+FLEET_JOBS = 1_100_000
+QUICK_FLEET_NODES = 10
+QUICK_FLEET_JOBS = 10_000
+
+SURGE_NODES = 50
+SURGE_JOBS = 200_000
+QUICK_SURGE_NODES = 5
+QUICK_SURGE_JOBS = 4_000
+
+MAPPER_BURST_JOBS = 500
+QUICK_MAPPER_BURST_JOBS = 100
+
+SELECT_NODES = 200
+SELECT_CALLS = 5_000
+QUICK_SELECT_NODES = 20
+QUICK_SELECT_CALLS = 500
+
+GENERATE_JOBS = 1_100_000
+QUICK_GENERATE_JOBS = 100_000
+
+
+_GPU_TOOL_XML = (
+    '<tool id="fleet_gpu"><requirements>'
+    '<requirement type="compute">gpu</requirement>'
+    "</requirements><command>racon_gpu</command></tool>"
+)
+
+
+def _throughput_scenario(nodes: int, jobs: int) -> BenchScenario:
+    def setup():
+        from repro.cluster.fleet import FleetConfig
+        from repro.workloads.diurnal import DiurnalProfile, diurnal_batches
+
+        profile = DiurnalProfile(seed=42).scaled_to(jobs)
+        config = FleetConfig(nodes=nodes, gpus_per_node=FLEET_GPUS_PER_NODE)
+        return config, profile.tools, diurnal_batches(profile)
+
+    def run(context) -> RunOutcome:
+        from repro.cluster.fleet import FleetSimulator
+
+        config, tools, batches = context
+        result = FleetSimulator(config, tools).run(batches)
+        return RunOutcome(
+            simulated_seconds=result.end_time,
+            work_units=float(result.mapping_decisions),
+        )
+
+    return BenchScenario(
+        name="fleet-map-throughput",
+        description="one diurnal day of fleet traffic through the columnar "
+                    "simulator (work_units = mapping decisions)",
+        setup=setup,
+        run=run,
+        workload={"nodes": nodes, "gpus_per_node": FLEET_GPUS_PER_NODE,
+                  "target_jobs": jobs, "seed": 42},
+        entry_points=(
+            "repro.cluster.fleet.FleetSimulator.run",
+            "repro.cluster.fleet.FleetSimulator._place_range",
+            "repro.cluster.jobstore.JobStore.append_batch",
+        ),
+    )
+
+
+def _surge_scenario(nodes: int, jobs: int) -> BenchScenario:
+    def setup():
+        from repro.cluster.fleet import FleetConfig, NodeFailure
+        from repro.workloads.diurnal import (
+            BurstStorm,
+            DiurnalProfile,
+            diurnal_batches,
+        )
+
+        profile = DiurnalProfile(
+            seed=7,
+            storms=(BurstStorm(start=43_200.0, duration=7_200.0,
+                               multiplier=20.0),),
+        ).scaled_to(jobs)
+        config = FleetConfig(
+            nodes=nodes,
+            gpus_per_node=FLEET_GPUS_PER_NODE,
+            queue_limit=32,
+            deadline_seconds=1_800.0,
+            failures=(
+                NodeFailure(time=44_000.0, node=0,
+                            recovery_seconds=3_600.0),
+                NodeFailure(time=45_000.0, node=1,
+                            recovery_seconds=1_800.0),
+            ),
+        )
+        return config, profile.tools, diurnal_batches(profile)
+
+    def run(context) -> RunOutcome:
+        from repro.cluster.fleet import FleetSimulator
+
+        config, tools, batches = context
+        result = FleetSimulator(config, tools).run(batches)
+        return RunOutcome(
+            simulated_seconds=result.end_time,
+            work_units=float(result.mapping_decisions),
+        )
+
+    return BenchScenario(
+        name="fleet-storm-surge",
+        description="an undersized fleet under a 20x burst storm with node "
+                    "failures (queues, sheds, degrades, resubmit chains)",
+        setup=setup,
+        run=run,
+        workload={"nodes": nodes, "gpus_per_node": FLEET_GPUS_PER_NODE,
+                  "target_jobs": jobs, "storm_multiplier": 20,
+                  "failures": 2, "seed": 7},
+        entry_points=(
+            "repro.cluster.fleet.FleetSimulator.run",
+            "repro.cluster.fleet.FleetSimulator._drain_queue",
+        ),
+    )
+
+
+def _mapper_burst_scenario(jobs: int, batched: bool) -> BenchScenario:
+    def setup():
+        from repro.core.mapper import GpuComputationMapper
+        from repro.galaxy.job import GalaxyJob
+        from repro.galaxy.tool_xml import parse_tool_xml
+        from repro.gpusim.host import make_k80_host
+
+        host = make_k80_host(boards=1)
+        mapper = GpuComputationMapper(host)
+        tool = parse_tool_xml(_GPU_TOOL_XML)
+        return mapper, [GalaxyJob(tool=tool) for _ in range(jobs)]
+
+    def run_batched(context) -> RunOutcome:
+        mapper, burst = context
+        mapper.prepare_environment_batch(burst)
+        return RunOutcome(work_units=float(len(burst)))
+
+    def run_perjob(context) -> RunOutcome:
+        mapper, burst = context
+        for job in burst:
+            mapper.prepare_environment(job)
+        return RunOutcome(work_units=float(len(burst)))
+
+    name = "fleet-burst-batched" if batched else "fleet-burst-perjob"
+    return BenchScenario(
+        name=name,
+        description=(
+            "map a same-instant GPU burst through one real host via "
+            + ("one batched decision (single probe, memoised strategy)"
+               if batched else
+               "the historical per-job loop (the comparison point)")
+        ),
+        setup=setup,
+        run=run_batched if batched else run_perjob,
+        workload={"jobs": jobs, "batched": batched},
+        entry_points=(
+            (
+                "repro.core.mapper.GpuComputationMapper."
+                "prepare_environment_batch",
+            )
+            if batched
+            else ("repro.core.mapper.GpuComputationMapper."
+                  "prepare_environment",)
+        ),
+    )
+
+
+def _node_select_scenario(nodes: int, calls: int) -> BenchScenario:
+    def setup():
+        from repro.cluster.multinode import LeastLoadedPolicy, NodeLoadIndex
+        from repro.cluster.node import ComputeNode
+        from repro.gpusim.clock import VirtualClock
+
+        clock = VirtualClock()
+        fleet = []
+        for i in range(nodes):
+            if i % 4 == 3:
+                node = ComputeNode.cpu_only(
+                    hostname=f"cpu-{i:04d}", clock=clock
+                )
+            else:
+                node = ComputeNode.paper_testbed(clock=clock)
+                node.hostname = f"gpu-{i:04d}"
+                node.gpu_host.hostname = node.hostname
+            fleet.append(node)
+        policy = LeastLoadedPolicy()
+        policy.attach_index(NodeLoadIndex(fleet))
+        return policy, fleet
+
+    def run(context) -> RunOutcome:
+        policy, fleet = context
+        for i in range(calls):
+            policy.select(fleet, wants_gpu=bool(i % 2))
+        return RunOutcome(work_units=float(calls))
+
+    return BenchScenario(
+        name="fleet-node-select",
+        description="indexed least-loaded node selection over a large "
+                    "static cluster (the O(log n) load-heap path)",
+        setup=setup,
+        run=run,
+        workload={"nodes": nodes, "selects": calls},
+        entry_points=(
+            "repro.cluster.multinode.NodeLoadIndex.best",
+            "repro.cluster.multinode.LeastLoadedPolicy.select",
+        ),
+    )
+
+
+def _generate_scenario(jobs: int) -> BenchScenario:
+    def setup():
+        from repro.workloads.diurnal import DiurnalProfile
+
+        return DiurnalProfile(seed=42).scaled_to(jobs)
+
+    def run(profile) -> RunOutcome:
+        from repro.workloads.diurnal import diurnal_batches
+
+        batches = diurnal_batches(profile)
+        return RunOutcome(
+            work_units=float(sum(batch.count for batch in batches))
+        )
+
+    return BenchScenario(
+        name="diurnal-generate",
+        description="seeded diurnal arrival generation for a fleet-sized "
+                    "day (work_units = jobs generated)",
+        setup=setup,
+        run=run,
+        workload={"target_jobs": jobs, "seed": 42},
+        entry_points=("repro.workloads.diurnal.diurnal_batches",),
+    )
+
+
+def fleet_entry_points() -> dict[str, tuple[str, ...]]:
+    """Scenario name → timed entry-point qnames, for gyan-perf seeding."""
+    return {
+        scenario.name: scenario.entry_points
+        for scenario in fleet_core_suite(quick=True)
+    }
+
+
+def fleet_core_suite(quick: bool = False) -> list[BenchScenario]:
+    """The scenario set behind ``BENCH_fleet_core.json``."""
+    return [
+        _throughput_scenario(
+            QUICK_FLEET_NODES if quick else FLEET_NODES,
+            QUICK_FLEET_JOBS if quick else FLEET_JOBS,
+        ),
+        _surge_scenario(
+            QUICK_SURGE_NODES if quick else SURGE_NODES,
+            QUICK_SURGE_JOBS if quick else SURGE_JOBS,
+        ),
+        _mapper_burst_scenario(
+            QUICK_MAPPER_BURST_JOBS if quick else MAPPER_BURST_JOBS,
+            batched=True,
+        ),
+        _mapper_burst_scenario(
+            QUICK_MAPPER_BURST_JOBS if quick else MAPPER_BURST_JOBS,
+            batched=False,
+        ),
+        _node_select_scenario(
+            QUICK_SELECT_NODES if quick else SELECT_NODES,
+            QUICK_SELECT_CALLS if quick else SELECT_CALLS,
+        ),
+        _generate_scenario(QUICK_GENERATE_JOBS if quick else GENERATE_JOBS),
+    ]

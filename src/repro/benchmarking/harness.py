@@ -32,18 +32,35 @@ _FLOAT_DIGITS = 6
 
 
 @dataclass(frozen=True)
+class RunOutcome:
+    """What one timed ``run`` accomplished.
+
+    ``simulated_seconds`` is how far virtual time advanced (0.0 when not
+    meaningful); ``work_units`` is the scenario's own notion of throughput
+    numerator — mapped jobs for the fleet suite, 0.0 when the scenario
+    has no natural unit.  Returning a bare float from ``run`` is the
+    shorthand for ``RunOutcome(simulated_seconds=value)``.
+    """
+
+    simulated_seconds: float = 0.0
+    work_units: float = 0.0
+
+
+@dataclass(frozen=True)
 class BenchScenario:
     """One named, repeatable measurement.
 
     ``setup`` builds fresh state; ``run`` does the timed work and returns
-    the number of *simulated* seconds it advanced (0.0 when simulated
-    time is not meaningful, e.g. pure data-structure benchmarks).
+    either the number of *simulated* seconds it advanced (0.0 when
+    simulated time is not meaningful, e.g. pure data-structure
+    benchmarks) or a :class:`RunOutcome` carrying simulated seconds plus
+    a work-unit count (e.g. jobs mapped) for throughput headlines.
     """
 
     name: str
     description: str
     setup: Callable[[], Any]
-    run: Callable[[Any], float]
+    run: Callable[[Any], "float | RunOutcome"]
     #: Free-form, schema-stable facts about the workload size (job
     #: counts, sample counts) for the report's readers.
     workload: dict[str, int | float | str] = field(default_factory=dict)
@@ -64,6 +81,9 @@ class ScenarioResult:
     wall_seconds: list[float]
     simulated_seconds: float
     workload: dict[str, int | float | str]
+    #: Work units (e.g. jobs mapped) accomplished by one run; 0.0 when
+    #: the scenario has no natural throughput unit.
+    work_units: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -83,6 +103,14 @@ class ScenarioResult:
             return 0.0
         return self.simulated_seconds / p50
 
+    @property
+    def work_units_per_second(self) -> float:
+        """Work-unit throughput (e.g. mapped jobs/sec) at the median."""
+        p50 = self.percentile(0.5)
+        if p50 <= 0 or self.work_units <= 0:
+            return 0.0
+        return self.work_units / p50
+
     def as_dict(self) -> dict:
         r = round
         return {
@@ -100,6 +128,10 @@ class ScenarioResult:
                 "min": r(min(self.wall_seconds), _FLOAT_DIGITS),
                 "max": r(max(self.wall_seconds), _FLOAT_DIGITS),
             },
+            "work_units": r(self.work_units, _FLOAT_DIGITS),
+            "work_units_per_second": r(
+                self.work_units_per_second, _FLOAT_DIGITS
+            ),
             "workload": dict(self.workload),
         }
 
@@ -134,14 +166,16 @@ class BenchReport:
             f"suite: {self.suite} ({'quick, ' if self.quick else ''}"
             f"{self.repeats} repeats)",
             f"{'scenario':<24}{'p50 (s)':>10}{'p95 (s)':>10}"
-            f"{'mean (s)':>10}{'sim s / wall s':>16}",
+            f"{'mean (s)':>10}{'sim s / wall s':>16}{'work/s':>12}",
         ]
         for result in self.results:
             throughput = result.sim_seconds_per_wall_second
+            work_rate = result.work_units_per_second
             lines.append(
                 f"{result.name:<24}{result.percentile(0.5):>10.4f}"
                 f"{result.percentile(0.95):>10.4f}{result.mean:>10.4f}"
                 + (f"{throughput:>16.0f}" if throughput else f"{'-':>16}")
+                + (f"{work_rate:>12.0f}" if work_rate else f"{'-':>12}")
             )
         return "\n".join(lines) + "\n"
 
@@ -152,11 +186,17 @@ def run_scenario(scenario: BenchScenario, repeats: int) -> ScenarioResult:
         raise ValueError(f"repeats must be positive, got {repeats}")
     walls: list[float] = []
     simulated = 0.0
+    work_units = 0.0
     for _ in range(repeats):
         context = scenario.setup()
         started = time.perf_counter()
-        simulated = float(scenario.run(context))
+        outcome = scenario.run(context)
         walls.append(time.perf_counter() - started)
+        if isinstance(outcome, RunOutcome):
+            simulated = float(outcome.simulated_seconds)
+            work_units = float(outcome.work_units)
+        else:
+            simulated = float(outcome)
     return ScenarioResult(
         name=scenario.name,
         description=scenario.description,
@@ -164,6 +204,7 @@ def run_scenario(scenario: BenchScenario, repeats: int) -> ScenarioResult:
         wall_seconds=walls,
         simulated_seconds=simulated,
         workload=dict(scenario.workload),
+        work_units=work_units,
     )
 
 
@@ -210,6 +251,8 @@ def validate_report_dict(data: dict) -> list[str]:
             ("repeats", int),
             ("simulated_seconds", (int, float)),
             ("sim_seconds_per_wall_second", (int, float)),
+            ("work_units", (int, float)),
+            ("work_units_per_second", (int, float)),
             ("workload", dict),
             ("wall_seconds", dict),
         ):

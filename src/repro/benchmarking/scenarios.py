@@ -319,11 +319,18 @@ def scenario_entry_points() -> dict[str, tuple[str, ...]]:
     appears in a ``gyan.bench`` report, gyan-perf marks these functions
     (and everything they reach) hot.  Reading it off the scenario
     objects keeps it in lock-step with what ``run`` actually drives.
+    Covers every suite — a ``BENCH_fleet_core.json`` profile seeds the
+    fleet entry points the same way ``BENCH_sim_core.json`` seeds the
+    sim-core ones.
     """
-    return {
+    from repro.benchmarking.fleet_scenarios import fleet_entry_points
+
+    manifest = {
         scenario.name: scenario.entry_points
         for scenario in sim_core_suite(quick=True)
     }
+    manifest.update(fleet_entry_points())
+    return manifest
 
 
 def sim_core_suite(quick: bool = False) -> list[BenchScenario]:

@@ -367,17 +367,24 @@ def cmd_perf(args: argparse.Namespace) -> int:
         return EXIT_CLEAN
 
     paths = args.paths or ["src/repro"]
-    profile: str | None = None
+    profiles: list[str] = []
     if not args.no_profile:
-        profile = args.profile
-        if profile is None and Path("BENCH_sim_core.json").is_file():
-            profile = "BENCH_sim_core.json"
-        elif profile is not None and not Path(profile).is_file():
-            print(f"perf: no such profile: {profile}", file=sys.stderr)
-            return EXIT_USAGE
+        if args.profiles:
+            for profile in args.profiles:
+                if not Path(profile).is_file():
+                    print(f"perf: no such profile: {profile}", file=sys.stderr)
+                    return EXIT_USAGE
+                profiles.append(profile)
+        else:
+            # Default: seed from every committed bench artifact present.
+            profiles = [
+                name
+                for name in ("BENCH_sim_core.json", "BENCH_fleet_core.json")
+                if Path(name).is_file()
+            ]
 
     options = PerfOptions(
-        profile=profile,
+        profiles=tuple(profiles),
         fail_on=Severity.from_name(args.fail_on),
         output_format=args.format,
         baseline=args.baseline,
@@ -583,9 +590,9 @@ def cmd_race(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.benchmarking import SUITE_NAME, run_suite, sim_core_suite
+    from repro.benchmarking import run_suite, suite_scenarios
 
-    scenarios = sim_core_suite(quick=args.quick)
+    scenarios = suite_scenarios(args.suite, quick=args.quick)
     if args.list:
         for scenario in scenarios:
             print(f"{scenario.name:<24}{scenario.description}")
@@ -600,12 +607,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         scenarios = [s for s in scenarios if s.name in set(args.scenarios)]
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
 
-    report = run_suite(scenarios, suite=SUITE_NAME, repeats=repeats,
+    report = run_suite(scenarios, suite=args.suite, repeats=repeats,
                        quick=args.quick)
     print(report.render_text(), end="")
-    if args.output:
-        report.write(args.output)
-        print(f"wrote {args.output}")
+    output = args.output
+    if output is None:
+        output = f"BENCH_{args.suite}.json"
+    if output:
+        report.write(output)
+        print(f"wrote {output}")
     return 0
 
 
@@ -710,10 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("paths", nargs="*",
                       help="files or directories of .py sources "
                            "(default: src/repro)")
-    perf.add_argument("--profile", default=None, metavar="FILE",
+    perf.add_argument("--profile", action="append", dest="profiles",
+                      default=None, metavar="FILE",
                       help="gyan.bench/v1 report seeding the hot-path "
-                           "model (default: BENCH_sim_core.json when "
-                           "present)")
+                           "model; repeatable (default: every committed "
+                           "BENCH_*.json — sim_core and fleet_core — "
+                           "when present)")
     perf.add_argument("--no-profile", action="store_true",
                       help="seed hotness from @hot_path annotations only")
     perf.add_argument("--format", choices=("text", "json"), default="text",
@@ -803,14 +815,19 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time simulation-core hot paths and emit BENCH_sim_core.json",
     )
+    bench.add_argument("--suite", choices=("sim_core", "fleet_core"),
+                       default="sim_core",
+                       help="scenario suite: sim_core (simulation hot "
+                            "paths) or fleet_core (1000-node fleet tier)")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke sizes: shorter job, smaller burst, "
                             "2 repeats (same schema)")
     bench.add_argument("--repeats", type=int, default=None,
                        help="repeats per scenario (default 5, or 2 with "
                             "--quick)")
-    bench.add_argument("--output", default="BENCH_sim_core.json",
-                       help="JSON artifact path (empty string to skip "
+    bench.add_argument("--output", default=None,
+                       help="JSON artifact path (default: "
+                            "BENCH_<suite>.json; empty string to skip "
                             "writing)")
     bench.add_argument("--scenario", action="append", dest="scenarios",
                        metavar="NAME",

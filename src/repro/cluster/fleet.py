@@ -1,0 +1,544 @@
+"""The fleet-scale simulation tier: 1000 nodes, millions of jobs.
+
+This is ROADMAP item 1 made concrete.  The object-path cluster
+(:mod:`repro.cluster.multinode`) routes real :class:`GalaxyJob` objects
+through full GYAN deployments — faithful, but ~milliseconds of Python
+per job.  At 1M jobs the fleet tier flips every per-job cost to a
+per-*group* cost:
+
+* **Columnar job state** — :class:`~repro.cluster.jobstore.JobStore`
+  holds all job fields in ``array('q')``/``array('d')`` columns; every
+  lifecycle transition is a contiguous range slice-assign.
+* **Batched mapping** — arrivals come from the diurnal generator as
+  same-instant :class:`~repro.workloads.diurnal.ArrivalBatch` groups;
+  Pseudocode-2 eligibility (GPU-wanted × fleet-has-capacity) is decided
+  once per batch and applied to the whole range, mirroring
+  :meth:`~repro.core.mapper.GpuComputationMapper.prepare_environment_batch`
+  at single-host scale.
+* **Sharded node state with indexed selection** — per-node shards hold
+  free GPU slots and the bounded queue; selection pops the
+  lowest-indexed node with free slots (the paper's first-available rule)
+  from a lazy heap in O(log n) instead of scanning 1000 nodes per job.
+  Completions are per-node shards merged through one global head heap.
+* **Aggregate observability** — counters increment per group and
+  latencies land via
+  :meth:`~repro.observability.metrics.HistogramChild.observe_many`;
+  there are no per-job spans on this path (at 1M jobs the spans *are*
+  the workload).
+
+Resilience semantics from PR 7 are preserved on the columnar path and
+checked for parity against :mod:`repro.cluster.fleet_reference`:
+bounded queues shed ``QUEUE_FULL``, queue TTLs shed
+``DEADLINE_EXPIRED``, degradable tool classes fall to the CPU arm
+before shedding, node failures quarantine the node and resubmit its
+jobs with a hop cap, and recovery re-admits the node.
+
+Determinism: given the same config and arrival batches the run is
+bit-identical — the property the ``fleet_core`` double-run byte-diff in
+CI pins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cluster.jobstore import NO_NODE, FleetJobState, JobStore
+from repro.hotpath import hot_path
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.shedding import ShedReason
+from repro.workloads.diurnal import (
+    DiurnalProfile,
+    FleetToolClass,
+    diurnal_batches,
+)
+
+#: Event kinds in the global head heap (time, seq, kind, ...).
+_EV_GPU_DONE = 0
+_EV_CPU_DONE = 1
+_EV_FAIL = 2
+_EV_RECOVER = 3
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One injected node outage: quarantine + resubmit its jobs."""
+
+    time: float
+    node: int
+    recovery_seconds: float
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape and resilience knobs of the simulated fleet."""
+
+    nodes: int = 1000
+    gpus_per_node: int = 8
+    #: Concurrent jobs per GPU (GYAN's multi-process sharing arm).
+    slots_per_gpu: int = 1
+    #: Bounded per-node queue depth (jobs), the PR-7 admission bound.
+    queue_limit: int = 16
+    #: Queue TTL: jobs still queued past submit + deadline_s shed.
+    deadline_seconds: float = 3600.0
+    #: Resubmit chain cap after node failures (PR-7 hop budget).
+    max_hops: int = 3
+    #: Whether degradable GPU classes fall to the CPU arm on overflow.
+    degrade_to_cpu: bool = True
+    failures: tuple[NodeFailure, ...] = ()
+
+    @property
+    def slots_per_node(self) -> int:
+        return self.gpus_per_node * self.slots_per_gpu
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("fleet needs at least one node")
+        if self.slots_per_node < 1:
+            raise ValueError("fleet nodes need at least one GPU slot")
+        for failure in self.failures:
+            if not 0 <= failure.node < self.nodes:
+                raise ValueError(
+                    f"failure targets unknown node {failure.node}"
+                )
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Deterministic summary of one fleet run.
+
+    Every field is a pure function of (config, batches): no wall-clock,
+    no iteration-order dependence — :meth:`to_json` byte-matches across
+    runs, which CI's double-run diff enforces.
+    """
+
+    nodes: int
+    gpus_per_node: int
+    jobs_submitted: int
+    mapping_decisions: int
+    mapped_gpu: int
+    mapped_cpu: int
+    degraded: int
+    queued: int
+    completed: int
+    resubmitted: int
+    failed: int
+    quarantines: int
+    shed: dict[str, int]
+    states: dict[str, int]
+    end_time: float
+    store_digest: str
+
+    def to_json(self) -> str:
+        data = {
+            "schema": "gyan.fleet/v1",
+            "nodes": self.nodes,
+            "gpus_per_node": self.gpus_per_node,
+            "jobs_submitted": self.jobs_submitted,
+            "mapping_decisions": self.mapping_decisions,
+            "mapped_gpu": self.mapped_gpu,
+            "mapped_cpu": self.mapped_cpu,
+            "degraded": self.degraded,
+            "queued": self.queued,
+            "completed": self.completed,
+            "resubmitted": self.resubmitted,
+            "failed": self.failed,
+            "quarantines": self.quarantines,
+            "shed": dict(sorted(self.shed.items())),
+            "states": dict(sorted(self.states.items())),
+            "end_time": round(self.end_time, 6),
+            "store_digest": self.store_digest,
+        }
+        return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+class FleetSimulator:
+    """Batch-driven event-loop over the columnar job store.
+
+    Feed it time-sorted :class:`ArrivalBatch` groups (usually from
+    :func:`~repro.workloads.diurnal.diurnal_batches`) via :meth:`run`.
+    All state transitions happen on contiguous [lo, hi) row ranges of
+    one :class:`JobStore`; see the module docstring for the semantics.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        tools: tuple[FleetToolClass, ...],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.tools = tools
+        self.store = JobStore()
+        n = config.nodes
+        cap = config.slots_per_node
+        # -- per-node shards -------------------------------------------- #
+        self._free = [cap] * n
+        self._depth = [0] * n
+        self._queues: list[deque[tuple[int, int, int]]] = [
+            deque() for _ in range(n)
+        ]
+        self._quarantined = [False] * n
+        #: seq → (node, lo, hi, tool) for every in-flight GPU group.
+        self._running: dict[int, tuple[int, int, int, int]] = {}
+        self._node_groups: list[set[int]] = [set() for _ in range(n)]
+        # -- indexed node selection (lazy heaps + membership flags) ----- #
+        self._slot_heap = list(range(n))
+        self._in_slot_heap = [True] * n
+        self._queue_heap = list(range(n))
+        self._in_queue_heap = [True] * n
+        # -- global head heap over the per-node event shards ------------ #
+        self._events: list[tuple[float, int, int, int, int, int, float]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        for failure in config.failures:
+            heapq.heappush(
+                self._events,
+                (failure.time, next(self._seq), _EV_FAIL, failure.node,
+                 0, 0, failure.recovery_seconds),
+            )
+        # -- aggregate observability ------------------------------------ #
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_submitted = self.metrics.counter(
+            "gyan_fleet_jobs_submitted_total",
+            "Jobs appended to the fleet job store",
+        )
+        self._c_mapped = self.metrics.counter(
+            "gyan_fleet_mapping_decisions_total",
+            "Batched mapping decisions by arm",
+            labels=("arm",),
+        )
+        self._c_queued = self.metrics.counter(
+            "gyan_fleet_jobs_queued_total",
+            "Jobs that waited in a bounded per-node queue",
+        )
+        self._c_completed = self.metrics.counter(
+            "gyan_fleet_jobs_completed_total",
+            "Jobs that finished either arm",
+        )
+        self._c_shed = self.metrics.counter(
+            "gyan_fleet_jobs_shed_total",
+            "Jobs refused by the overload layer, by reason",
+            labels=("reason",),
+        )
+        self._c_degraded = self.metrics.counter(
+            "gyan_fleet_jobs_degraded_total",
+            "GPU-eligible jobs degraded to the CPU arm on overflow",
+        )
+        self._c_resubmitted = self.metrics.counter(
+            "gyan_fleet_jobs_resubmitted_total",
+            "Jobs re-entered after a node failure (hop chain)",
+        )
+        self._c_failed = self.metrics.counter(
+            "gyan_fleet_jobs_failed_total",
+            "Jobs whose resubmit chain exhausted the hop budget",
+        )
+        self._c_quarantines = self.metrics.counter(
+            "gyan_fleet_node_quarantines_total",
+            "Node failure events that quarantined a node",
+        )
+        self._h_latency = self.metrics.histogram(
+            "gyan_fleet_job_latency_seconds",
+            "Submit→finish latency of completed jobs (group-aggregated)",
+            buckets=(60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0,
+                     float("inf")),
+        )
+
+    # ------------------------------------------------------------------ #
+    # indexed node selection
+    # ------------------------------------------------------------------ #
+    def _peek_free_node(self) -> int | None:
+        """Lowest-indexed healthy node with a free GPU slot, O(log n)."""
+        heap = self._slot_heap
+        while heap:
+            node = heap[0]
+            if self._quarantined[node] or self._free[node] <= 0:
+                heapq.heappop(heap)
+                self._in_slot_heap[node] = False
+                continue
+            return node
+        return None
+
+    def _peek_queue_node(self) -> int | None:
+        """Lowest-indexed healthy node with queue room, O(log n)."""
+        heap = self._queue_heap
+        limit = self.config.queue_limit
+        while heap:
+            node = heap[0]
+            if self._quarantined[node] or self._depth[node] >= limit:
+                heapq.heappop(heap)
+                self._in_queue_heap[node] = False
+                continue
+            return node
+        return None
+
+    def _readmit_node(self, node: int) -> None:
+        """Re-enter the selection heaps after slots/room reappeared."""
+        if self._quarantined[node]:
+            return
+        if self._free[node] > 0 and not self._in_slot_heap[node]:
+            heapq.heappush(self._slot_heap, node)
+            self._in_slot_heap[node] = True
+        if (
+            self._depth[node] < self.config.queue_limit
+            and not self._in_queue_heap[node]
+        ):
+            heapq.heappush(self._queue_heap, node)
+            self._in_queue_heap[node] = True
+
+    # ------------------------------------------------------------------ #
+    # group starts
+    # ------------------------------------------------------------------ #
+    def _start_gpu(
+        self, lo: int, hi: int, node: int, tool_index: int, now: float
+    ) -> None:
+        count = hi - lo
+        self.store.start_range(lo, hi, node, now, gpu=True)
+        self._free[node] -= count
+        seq = next(self._seq)
+        self._running[seq] = (node, lo, hi, tool_index)
+        self._node_groups[node].add(seq)
+        heapq.heappush(
+            self._events,
+            (now + self.tools[tool_index].gpu_seconds, seq, _EV_GPU_DONE,
+             node, lo, hi, tool_index),
+        )
+        self._c_mapped.labels(arm="gpu").inc(count)
+
+    def _start_cpu(
+        self, lo: int, hi: int, tool_index: int, now: float, degraded: bool
+    ) -> None:
+        count = hi - lo
+        self.store.start_range(lo, hi, NO_NODE, now, gpu=False)
+        heapq.heappush(
+            self._events,
+            (now + self.tools[tool_index].cpu_seconds, next(self._seq),
+             _EV_CPU_DONE, NO_NODE, lo, hi, tool_index),
+        )
+        self._c_mapped.labels(arm="cpu").inc(count)
+        if degraded:
+            self._c_degraded.inc(count)
+
+    # ------------------------------------------------------------------ #
+    # batched mapping (vectorised Pseudocode 2 over the columnar batch)
+    # ------------------------------------------------------------------ #
+    @hot_path
+    def _place_range(
+        self, lo: int, hi: int, tool_index: int, now: float
+    ) -> None:
+        """Map one same-instant, same-class row range.
+
+        The eligibility decision (Pseudocode 2: does the tool want a GPU
+        and does the fleet have one?) happens once for the whole range;
+        placement peels contiguous sub-ranges off the front, filling the
+        lowest-indexed node with free slots to capacity before moving on
+        — identical, job for job, to the per-job-object reference model.
+        """
+        tool = self.tools[tool_index]
+        if not tool.gpu_eligible:
+            self._start_cpu(lo, hi, tool_index, now, degraded=False)
+            return
+        cursor = lo
+        while cursor < hi:
+            node = self._peek_free_node()
+            if node is None:
+                break
+            take = min(hi - cursor, self._free[node])
+            self._start_gpu(cursor, cursor + take, node, tool_index, now)
+            cursor += take
+        limit = self.config.queue_limit
+        while cursor < hi:
+            node = self._peek_queue_node()
+            if node is None:
+                break
+            take = min(hi - cursor, limit - self._depth[node])
+            self.store.queue_range(cursor, cursor + take, node)
+            self._queues[node].append((cursor, cursor + take, tool_index))
+            self._depth[node] += take
+            self._c_queued.inc(take)
+            cursor += take
+        if cursor < hi:
+            if self.config.degrade_to_cpu and tool.degradable:
+                self._start_cpu(cursor, hi, tool_index, now, degraded=True)
+            else:
+                self.store.shed_range(cursor, hi, ShedReason.QUEUE_FULL, now)
+                self._c_shed.labels(
+                    reason=ShedReason.QUEUE_FULL.value
+                ).inc(hi - cursor)
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _complete_range(self, lo: int, hi: int, now: float) -> None:
+        count = hi - lo
+        self.store.complete_range(lo, hi, now)
+        self._c_completed.inc(count)
+        self._h_latency.observe_many(now - self.store.submit[lo], count)
+
+    @hot_path
+    def _drain_queue(self, node: int, now: float) -> None:
+        """Start queued groups on freed slots, shedding expired ones."""
+        queue = self._queues[node]
+        store = self.store
+        while queue and self._free[node] > 0:
+            glo, ghi, gtool = queue[0]
+            if now > store.deadline[glo]:
+                queue.popleft()
+                self._depth[node] -= ghi - glo
+                store.shed_range(glo, ghi, ShedReason.DEADLINE_EXPIRED, now)
+                self._c_shed.labels(
+                    reason=ShedReason.DEADLINE_EXPIRED.value
+                ).inc(ghi - glo)
+                continue
+            take = min(self._free[node], ghi - glo)
+            if take == ghi - glo:
+                queue.popleft()
+            else:
+                queue[0] = (glo + take, ghi, gtool)
+            self._depth[node] -= take
+            self._start_gpu(glo, glo + take, node, gtool, now)
+        self._readmit_node(node)
+
+    def _on_gpu_done(
+        self, now: float, seq: int, node: int, lo: int, hi: int
+    ) -> None:
+        if seq not in self._running:
+            return  # interrupted by a node failure: tombstone
+        del self._running[seq]
+        self._node_groups[node].discard(seq)
+        self._complete_range(lo, hi, now)
+        self._free[node] += hi - lo
+        self._readmit_node(node)
+        self._drain_queue(node, now)
+
+    def _resubmit(self, lo: int, hi: int, tool_index: int, now: float) -> None:
+        count = hi - lo
+        if self.store.hops[lo] + 1 > self.config.max_hops:
+            self.store.fail_range(lo, hi, now)
+            self._c_failed.inc(count)
+            return
+        self.store.resubmit_range(lo, hi)
+        self._c_resubmitted.inc(count)
+        self._place_range(lo, hi, tool_index, now)
+
+    def _on_fail(self, now: float, node: int, recovery_seconds: float) -> None:
+        self._quarantined[node] = True
+        self._c_quarantines.inc()
+        # Interrupt running groups in ascending row order (== ascending
+        # job-id order, the reference model's iteration order).
+        groups = sorted(
+            self._running[seq] for seq in self._node_groups[node]
+        )
+        for seq in self._node_groups[node]:
+            del self._running[seq]
+        self._node_groups[node].clear()
+        self._free[node] = 0
+        for _node, lo, hi, tool_index in groups:
+            self._resubmit(lo, hi, tool_index, now)
+        # Queued groups resubmit in FIFO order after the running ones.
+        queued = list(self._queues[node])
+        self._queues[node].clear()
+        self._depth[node] = 0
+        for lo, hi, tool_index in queued:
+            self._resubmit(lo, hi, tool_index, now)
+        heapq.heappush(
+            self._events,
+            (now + recovery_seconds, next(self._seq), _EV_RECOVER, node,
+             0, 0, 0),
+        )
+
+    def _on_recover(self, node: int) -> None:
+        self._quarantined[node] = False
+        self._free[node] = self.config.slots_per_node
+        self._readmit_node(node)
+
+    def _drain_until(self, when: float) -> None:
+        events = self._events
+        while events and events[0][0] <= when:
+            time, seq, kind, node, lo, hi, extra = heapq.heappop(events)
+            self._now = time
+            if kind == _EV_GPU_DONE:
+                self._on_gpu_done(time, seq, node, lo, hi)
+            elif kind == _EV_CPU_DONE:
+                self._complete_range(lo, hi, time)
+            elif kind == _EV_FAIL:
+                self._on_fail(time, node, float(extra))
+            else:
+                self._on_recover(node)
+
+    # ------------------------------------------------------------------ #
+    @hot_path
+    def run(self, batches: Iterable) -> FleetResult:
+        """Drive the fleet through time-sorted arrival batches."""
+        store = self.store
+        config = self.config
+        for batch in batches:
+            if batch.count <= 0:
+                continue
+            self._drain_until(batch.time)
+            self._now = max(self._now, batch.time)
+            lo, hi = store.append_batch(
+                batch.count, batch.tool, batch.time,
+                batch.time + config.deadline_seconds,
+            )
+            self._c_submitted.inc(batch.count)
+            self._place_range(lo, hi, batch.tool, batch.time)
+        self._drain_until(math.inf)
+        return self._result()
+
+    def _result(self) -> FleetResult:
+        value = self.metrics.value
+        submitted = int(value("gyan_fleet_jobs_submitted_total"))
+        completed = int(value("gyan_fleet_jobs_completed_total"))
+        failed = int(value("gyan_fleet_jobs_failed_total"))
+        shed = {
+            reason.value: int(
+                value("gyan_fleet_jobs_shed_total", reason=reason.value)
+            )
+            for reason in ShedReason
+            if value("gyan_fleet_jobs_shed_total", reason=reason.value)
+        }
+        shed_total = sum(shed.values())
+        # Overload ledger identity (the storm drill's invariant, fleet
+        # scale): every submitted job ends exactly one way.
+        if submitted != completed + shed_total + failed:
+            raise RuntimeError(
+                "fleet ledger out of balance: "
+                f"{submitted} submitted != {completed} completed + "
+                f"{shed_total} shed + {failed} failed"
+            )
+        mapped_gpu = int(value("gyan_fleet_mapping_decisions_total", arm="gpu"))
+        mapped_cpu = int(value("gyan_fleet_mapping_decisions_total", arm="cpu"))
+        return FleetResult(
+            nodes=self.config.nodes,
+            gpus_per_node=self.config.gpus_per_node,
+            jobs_submitted=submitted,
+            mapping_decisions=mapped_gpu + mapped_cpu,
+            mapped_gpu=mapped_gpu,
+            mapped_cpu=mapped_cpu,
+            degraded=int(value("gyan_fleet_jobs_degraded_total")),
+            queued=int(value("gyan_fleet_jobs_queued_total")),
+            completed=completed,
+            resubmitted=int(value("gyan_fleet_jobs_resubmitted_total")),
+            failed=failed,
+            quarantines=int(value("gyan_fleet_node_quarantines_total")),
+            shed=shed,
+            states=self.store.count_by_state(),
+            end_time=self._now,
+            store_digest=self.store.digest(),
+        )
+
+
+def run_fleet(
+    config: FleetConfig,
+    profile: DiurnalProfile,
+    metrics: MetricsRegistry | None = None,
+) -> FleetResult:
+    """Generate the diurnal workload and run it through the fleet."""
+    simulator = FleetSimulator(config, profile.tools, metrics=metrics)
+    return simulator.run(diurnal_batches(profile))

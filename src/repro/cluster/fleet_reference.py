@@ -1,0 +1,250 @@
+"""Naive per-job-object reference model for the fleet simulator.
+
+This is the straight-line implementation of the exact same fleet
+policy as :class:`repro.cluster.fleet.FleetSimulator` — one Python
+object and one event per job, linear node scans instead of heaps, one
+store transition per job instead of per range.  It exists purely as a
+correctness oracle: the property tests drive both implementations with
+the same seeded arrival batches and assert the resulting
+:class:`~repro.cluster.jobstore.JobStore` columns are *bit-identical*
+(same :meth:`~repro.cluster.jobstore.JobStore.digest`), which pins the
+columnar bulk-range path to per-job semantics including the PR-7
+resilience edges (bounded-queue shed, queue-TTL shed, degrade-to-CPU,
+failure resubmit chains, hop-budget exhaustion, quarantine/recovery).
+
+Policy (mirrored exactly by the columnar path):
+
+* GPU placement: the lowest-indexed healthy node with a free slot.
+* Queueing: the lowest-indexed healthy node with queue room, FIFO.
+* Overflow: degradable classes run on the CPU arm; others shed
+  ``QUEUE_FULL``.  Jobs queued past their TTL shed ``DEADLINE_EXPIRED``
+  when a slot would otherwise start them.
+* Node failure: quarantine; interrupted running jobs (ascending id)
+  then queued jobs (FIFO) resubmit with one more hop, failing outright
+  past ``max_hops``.  Recovery restores the node's full capacity.
+
+Do not optimise this module — its value is being obviously correct and
+structurally different from the columnar implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from typing import Iterable
+
+from repro.cluster.fleet import (
+    _EV_CPU_DONE,
+    _EV_FAIL,
+    _EV_GPU_DONE,
+    _EV_RECOVER,
+    FleetConfig,
+)
+from repro.cluster.jobstore import NO_NODE, JobStore
+from repro.resilience.shedding import ShedReason
+from repro.workloads.diurnal import FleetToolClass
+
+
+class _RefJob:
+    """Mutable per-job bookkeeping (the allocation the fleet tier kills)."""
+
+    __slots__ = ("id", "tool", "deadline", "hops", "node")
+
+    def __init__(self, job_id: int, tool: int, deadline: float) -> None:
+        self.id = job_id
+        self.tool = tool
+        self.deadline = deadline
+        self.hops = 0
+        self.node = NO_NODE
+
+
+class ObjectFleetReference:
+    """Run the fleet policy one job object at a time."""
+
+    def __init__(
+        self, config: FleetConfig, tools: tuple[FleetToolClass, ...]
+    ) -> None:
+        self.config = config
+        self.tools = tools
+        self.store = JobStore()
+        n = config.nodes
+        self._free = [config.slots_per_node] * n
+        self._quarantined = [False] * n
+        self._queues: list[deque[_RefJob]] = [deque() for _ in range(n)]
+        #: event seq → job for every in-flight GPU job.  Keyed by seq,
+        #: not job id: a failure-interrupted job restarts under a new
+        #: seq, which tombstones the stale completion event.
+        self._running: dict[int, _RefJob] = {}
+        self._events: list[tuple[float, int, int, int, int, float]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.counts = {
+            "submitted": 0, "mapped_gpu": 0, "mapped_cpu": 0,
+            "degraded": 0, "queued": 0, "completed": 0,
+            "resubmitted": 0, "failed": 0, "quarantines": 0,
+        }
+        self.shed: dict[str, int] = {}
+        for failure in config.failures:
+            heapq.heappush(
+                self._events,
+                (failure.time, next(self._seq), _EV_FAIL, failure.node, 0,
+                 failure.recovery_seconds),
+            )
+
+    # -- naive node scans ------------------------------------------------ #
+    def _scan_free_node(self) -> int | None:
+        for node in range(self.config.nodes):
+            if not self._quarantined[node] and self._free[node] > 0:
+                return node
+        return None
+
+    def _scan_queue_node(self) -> int | None:
+        limit = self.config.queue_limit
+        for node in range(self.config.nodes):
+            if not self._quarantined[node] and len(self._queues[node]) < limit:
+                return node
+        return None
+
+    # -- per-job transitions --------------------------------------------- #
+    def _start_gpu(self, job: _RefJob, node: int, now: float) -> None:
+        job.node = node
+        self.store.start_range(job.id, job.id + 1, node, now, gpu=True)
+        self._free[node] -= 1
+        seq = next(self._seq)
+        self._running[seq] = job
+        heapq.heappush(
+            self._events,
+            (now + self.tools[job.tool].gpu_seconds, seq,
+             _EV_GPU_DONE, node, job.id, 0.0),
+        )
+        self.counts["mapped_gpu"] += 1
+
+    def _start_cpu(self, job: _RefJob, now: float, degraded: bool) -> None:
+        job.node = NO_NODE
+        self.store.start_range(job.id, job.id + 1, NO_NODE, now, gpu=False)
+        heapq.heappush(
+            self._events,
+            (now + self.tools[job.tool].cpu_seconds, next(self._seq),
+             _EV_CPU_DONE, NO_NODE, job.id, 0.0),
+        )
+        self.counts["mapped_cpu"] += 1
+        if degraded:
+            self.counts["degraded"] += 1
+
+    def _shed(self, job: _RefJob, reason: ShedReason, now: float) -> None:
+        self.store.shed_range(job.id, job.id + 1, reason, now)
+        self.shed[reason.value] = self.shed.get(reason.value, 0) + 1
+
+    def _place(self, job: _RefJob, now: float) -> None:
+        tool = self.tools[job.tool]
+        if not tool.gpu_eligible:
+            self._start_cpu(job, now, degraded=False)
+            return
+        node = self._scan_free_node()
+        if node is not None:
+            self._start_gpu(job, node, now)
+            return
+        node = self._scan_queue_node()
+        if node is not None:
+            job.node = node
+            self.store.queue_range(job.id, job.id + 1, node)
+            self._queues[node].append(job)
+            self.counts["queued"] += 1
+            return
+        if self.config.degrade_to_cpu and tool.degradable:
+            self._start_cpu(job, now, degraded=True)
+        else:
+            self._shed(job, ShedReason.QUEUE_FULL, now)
+
+    def _drain_queue(self, node: int, now: float) -> None:
+        queue = self._queues[node]
+        while queue and self._free[node] > 0:
+            job = queue[0]
+            if now > job.deadline:
+                queue.popleft()
+                self._shed(job, ShedReason.DEADLINE_EXPIRED, now)
+                continue
+            queue.popleft()
+            self._start_gpu(job, node, now)
+
+    def _complete(self, job_id: int, now: float) -> None:
+        self.store.complete_range(job_id, job_id + 1, now)
+        self.counts["completed"] += 1
+
+    def _on_gpu_done(self, now: float, seq: int, node: int, job_id: int) -> None:
+        job = self._running.pop(seq, None)
+        if job is None:
+            return  # interrupted by a node failure: tombstone
+        self._complete(job_id, now)
+        self._free[node] += 1
+        self._drain_queue(node, now)
+
+    def _resubmit(self, job: _RefJob, now: float) -> None:
+        if job.hops + 1 > self.config.max_hops:
+            self.store.fail_range(job.id, job.id + 1, now)
+            self.counts["failed"] += 1
+            return
+        job.hops += 1
+        self.store.resubmit_range(job.id, job.id + 1)
+        self.counts["resubmitted"] += 1
+        self._place(job, now)
+
+    def _on_fail(self, now: float, node: int, recovery_seconds: float) -> None:
+        self._quarantined[node] = True
+        self.counts["quarantines"] += 1
+        interrupted = sorted(
+            ((job.id, seq) for seq, job in self._running.items()
+             if job.node == node),
+        )
+        victims = [self._running.pop(seq) for _job_id, seq in interrupted]
+        self._free[node] = 0
+        for job in victims:
+            self._resubmit(job, now)
+        queued = list(self._queues[node])
+        self._queues[node].clear()
+        for job in queued:
+            self._resubmit(job, now)
+        heapq.heappush(
+            self._events,
+            (now + recovery_seconds, next(self._seq), _EV_RECOVER, node, 0,
+             0.0),
+        )
+
+    def _drain_until(self, when: float) -> None:
+        events = self._events
+        while events and events[0][0] <= when:
+            time, seq, kind, node, job_id, extra = heapq.heappop(events)
+            self._now = time
+            if kind == _EV_GPU_DONE:
+                self._on_gpu_done(time, seq, node, job_id)
+            elif kind == _EV_CPU_DONE:
+                self._complete(job_id, time)
+            elif kind == _EV_FAIL:
+                self._on_fail(time, node, extra)
+            else:
+                self._quarantined[node] = False
+                self._free[node] = self.config.slots_per_node
+
+    # -------------------------------------------------------------------- #
+    def run(self, batches: Iterable) -> JobStore:
+        """Drive the reference through the same time-sorted batches."""
+        deadline_seconds = self.config.deadline_seconds
+        for batch in batches:
+            if batch.count <= 0:
+                continue
+            self._drain_until(batch.time)
+            self._now = max(self._now, batch.time)
+            lo, hi = self.store.append_batch(
+                batch.count, batch.tool, batch.time,
+                batch.time + deadline_seconds,
+            )
+            self.counts["submitted"] += batch.count
+            for job_id in range(lo, hi):
+                job = _RefJob(
+                    job_id, batch.tool, batch.time + deadline_seconds
+                )
+                self._place(job, batch.time)
+        self._drain_until(math.inf)
+        return self.store

@@ -1,0 +1,254 @@
+"""Columnar job state for the fleet-scale simulation tier.
+
+At fleet scale (1000 nodes × 8 GPUs × 1M jobs) per-job Python objects
+are the bottleneck: a million ``GalaxyJob``-sized instances cost ~GBs of
+allocator churn and force every state transition through attribute
+access.  :class:`JobStore` is the struct-of-arrays answer — one stdlib
+``array`` per field, ``'q'`` (int64) for discrete columns and ``'d'``
+(float64) for instants — so the fleet path appends, transitions, and
+digests job state with C-speed bulk slice operations instead of per-job
+Python work.
+
+Jobs are identified by row index (dense, append-only).  The fleet
+simulator works in contiguous *[lo, hi)* row groups (an arrival batch
+lands as one contiguous range and every split keeps sub-ranges
+contiguous), so all transitions here are range operations.
+
+The per-job-object reference model
+(:mod:`repro.cluster.fleet_reference`) materialises its jobs into this
+same layout via :meth:`JobStore.append_batch` + single-row transitions,
+which is what lets the property tests assert *bit-identical* state:
+:meth:`digest` hashes the raw column bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from collections import Counter
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator
+
+from repro.hotpath import hot_path
+from repro.resilience.shedding import ShedReason
+
+#: Sentinel for "no destination node" / "no instant recorded".
+NO_NODE = -1
+NO_INSTANT = -1.0
+NO_REASON = -1
+
+#: Stable ShedReason → int column encoding (enum definition order).
+SHED_REASON_CODE: dict[ShedReason, int] = {
+    reason: code for code, reason in enumerate(ShedReason)
+}
+SHED_REASON_BY_CODE: dict[int, ShedReason] = {
+    code: reason for reason, code in SHED_REASON_CODE.items()
+}
+
+
+class FleetJobState(IntEnum):
+    """Fleet job lifecycle, mirroring the PR-7 resilience semantics.
+
+    ``PENDING → RUNNING → COMPLETED`` is the happy path; ``QUEUED``
+    covers bounded per-node queues, ``SHED`` carries a
+    :class:`~repro.resilience.shedding.ShedReason` in the ``shed``
+    column, and ``FAILED`` is a job whose resubmit chain exhausted its
+    hop budget after node failures.
+    """
+
+    PENDING = 0
+    QUEUED = 1
+    RUNNING = 2
+    COMPLETED = 3
+    SHED = 4
+    FAILED = 5
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One job's fields, materialised for tests and debugging."""
+
+    index: int
+    state: FleetJobState
+    tool: int
+    submit: float
+    deadline: float
+    destination: int
+    hops: int
+    shed: ShedReason | None
+    start: float
+    finish: float
+    gpu: bool
+
+
+def _q_fill(value: int, count: int) -> array:
+    """A length-``count`` int64 array of ``value`` (C-level repeat)."""
+    return array("q", (value,)) * count
+
+
+def _d_fill(value: float, count: int) -> array:
+    """A length-``count`` float64 array of ``value`` (C-level repeat)."""
+    return array("d", (value,)) * count
+
+
+class JobStore:
+    """Struct-of-arrays job state with range-bulk transitions.
+
+    Columns (parallel, one entry per job):
+
+    ========== ===== =================================================
+    column     type  meaning
+    ========== ===== =================================================
+    state      'q'   :class:`FleetJobState`
+    tool       'q'   tool-class index into the workload's tool table
+    submit     'd'   submission instant (virtual seconds)
+    deadline   'd'   queue-TTL instant (submit + deadline_s)
+    dest       'q'   destination node index (:data:`NO_NODE` = none/CPU)
+    hops       'q'   resubmit chain length (PR-7 hop cap)
+    shed       'q'   :data:`SHED_REASON_CODE` (:data:`NO_REASON` = none)
+    start      'd'   last execution start (:data:`NO_INSTANT` = never)
+    finish     'd'   terminal instant (:data:`NO_INSTANT` = not yet)
+    gpu        'q'   1 when the last mapping landed on a GPU slot
+    ========== ===== =================================================
+    """
+
+    __slots__ = (
+        "state", "tool", "submit", "deadline", "dest",
+        "hops", "shed", "start", "finish", "gpu",
+    )
+
+    #: Column names in digest order (also the ``rows()`` field order).
+    COLUMNS = (
+        "state", "tool", "submit", "deadline", "dest",
+        "hops", "shed", "start", "finish", "gpu",
+    )
+
+    def __init__(self) -> None:
+        self.state = array("q")
+        self.tool = array("q")
+        self.submit = array("d")
+        self.deadline = array("d")
+        self.dest = array("q")
+        self.hops = array("q")
+        self.shed = array("q")
+        self.start = array("d")
+        self.finish = array("d")
+        self.gpu = array("q")
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    # -- appends -------------------------------------------------------- #
+    @hot_path
+    def append_batch(
+        self, count: int, tool: int, submit: float, deadline: float
+    ) -> tuple[int, int]:
+        """Append ``count`` PENDING jobs of one class; returns [lo, hi)."""
+        if count <= 0:
+            raise ValueError(f"batch count must be positive, got {count}")
+        lo = len(self.state)
+        self.state.extend(_q_fill(int(FleetJobState.PENDING), count))
+        self.tool.extend(_q_fill(tool, count))
+        self.submit.extend(_d_fill(submit, count))
+        self.deadline.extend(_d_fill(deadline, count))
+        self.dest.extend(_q_fill(NO_NODE, count))
+        self.hops.extend(_q_fill(0, count))
+        self.shed.extend(_q_fill(NO_REASON, count))
+        self.start.extend(_d_fill(NO_INSTANT, count))
+        self.finish.extend(_d_fill(NO_INSTANT, count))
+        self.gpu.extend(_q_fill(0, count))
+        return lo, lo + count
+
+    # -- range transitions ---------------------------------------------- #
+    def start_range(
+        self, lo: int, hi: int, node: int, now: float, gpu: bool
+    ) -> None:
+        """PENDING/QUEUED → RUNNING on ``node`` (``NO_NODE`` = CPU arm)."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.RUNNING), n)
+        self.dest[lo:hi] = _q_fill(node, n)
+        self.start[lo:hi] = _d_fill(now, n)
+        self.gpu[lo:hi] = _q_fill(1 if gpu else 0, n)
+
+    def queue_range(self, lo: int, hi: int, node: int) -> None:
+        """PENDING → QUEUED at ``node`` (bounded per-node queue)."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.QUEUED), n)
+        self.dest[lo:hi] = _q_fill(node, n)
+
+    def complete_range(self, lo: int, hi: int, now: float) -> None:
+        """RUNNING → COMPLETED at ``now``."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.COMPLETED), n)
+        self.finish[lo:hi] = _d_fill(now, n)
+
+    def shed_range(
+        self, lo: int, hi: int, reason: ShedReason, now: float
+    ) -> None:
+        """Any live state → SHED with ``reason`` at ``now``."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.SHED), n)
+        self.shed[lo:hi] = _q_fill(SHED_REASON_CODE[reason], n)
+        self.finish[lo:hi] = _d_fill(now, n)
+
+    def fail_range(self, lo: int, hi: int, now: float) -> None:
+        """Resubmit budget exhausted → FAILED at ``now``."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.FAILED), n)
+        self.finish[lo:hi] = _d_fill(now, n)
+
+    def resubmit_range(self, lo: int, hi: int) -> None:
+        """Interrupted RUNNING/QUEUED → PENDING with one more hop."""
+        n = hi - lo
+        self.state[lo:hi] = _q_fill(int(FleetJobState.PENDING), n)
+        self.dest[lo:hi] = _q_fill(NO_NODE, n)
+        self.start[lo:hi] = _d_fill(NO_INSTANT, n)
+        self.gpu[lo:hi] = _q_fill(0, n)
+        # Resubmits are rare (node failures only); the per-element
+        # rewrite stays off the per-batch hot path.
+        self.hops[lo:hi] = array("q", [h + 1 for h in self.hops[lo:hi]])
+
+    # -- reads ----------------------------------------------------------- #
+    def row(self, index: int) -> JobRow:
+        """Materialise one job row (tests/debugging, not the hot path)."""
+        shed_code = self.shed[index]
+        return JobRow(
+            index=index,
+            state=FleetJobState(self.state[index]),
+            tool=self.tool[index],
+            submit=self.submit[index],
+            deadline=self.deadline[index],
+            destination=self.dest[index],
+            hops=self.hops[index],
+            shed=SHED_REASON_BY_CODE.get(shed_code),
+            start=self.start[index],
+            finish=self.finish[index],
+            gpu=bool(self.gpu[index]),
+        )
+
+    def rows(self) -> Iterator[JobRow]:
+        """All rows in index order (tests/debugging)."""
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def count_by_state(self) -> dict[str, int]:
+        """Job counts per :class:`FleetJobState` name (only nonzero)."""
+        counts = Counter(self.state)
+        return {
+            state.name: counts[int(state)]
+            for state in FleetJobState
+            if counts[int(state)]
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the raw column bytes — the bit-identity probe.
+
+        Two stores whose jobs went through equivalent transitions hash
+        identically regardless of which implementation (columnar bulk
+        ops or the per-job-object reference) produced them.
+        """
+        hasher = hashlib.sha256()
+        for name in self.COLUMNS:
+            hasher.update(getattr(self, name).tobytes())
+        return hasher.hexdigest()

@@ -19,16 +19,31 @@ Policies
     Rotate over eligible nodes regardless of occupancy.
 ``least-loaded``
     The node with the smallest (gpu_processes, cpu_in_use) load vector.
+
+Fleet-scale selection
+---------------------
+Recomputing :func:`node_load` over every node on every ``select()`` is
+O(nodes × devices) per dispatch — fine at 3 nodes, ruinous at 1000.
+:class:`NodeLoadIndex` keeps a lazy min-heap per eligibility class
+(GPU nodes / all nodes) keyed by the load vector, with version-stamped
+entries: a node's entry is only recomputed when its
+:attr:`~repro.gpusim.host.GPUHost.state_version` or free CPU slots
+actually changed, so selection is O(log n) amortised.  The
+:class:`ClusterDispatcher` builds one index over its node set and
+attaches it to the policy; standalone ``policy.select(...)`` calls
+(no index attached) keep the historical full-scan behaviour.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.cluster.node import ComputeNode
 from repro.gpusim.clock import VirtualClock
+from repro.hotpath import hot_path
 from repro.resilience.shedding import RejectedBusy, ShedReason
 
 
@@ -62,10 +77,129 @@ def node_load(node: ComputeNode) -> NodeLoad:
     )
 
 
+class _LoadHeap:
+    """A lazy min-heap of nodes keyed by the load vector.
+
+    Entries are ``(key, stamp, version, hostname)`` where ``key`` is
+    ``(gpu_processes, cpu_used, hostname)`` — the least-loaded order —
+    and ``version`` captures the node state the key was computed from
+    (``gpu_host.state_version``, free CPU slots).  :meth:`best` pops
+    superseded/stale entries lazily and re-pushes a fresh one, so a
+    node's load is only *evaluated* when its state actually changed:
+    selection is O(log n) amortised instead of O(n × devices) per call.
+    """
+
+    __slots__ = ("_by_name", "_heap", "_latest", "_counter", "load_evaluations")
+
+    def __init__(self, nodes: list[ComputeNode]) -> None:
+        self._by_name = {node.hostname: node for node in nodes}
+        self._heap: list[tuple[tuple[int, int, str], int, tuple[int, int], str]] = []
+        self._latest: dict[str, int] = {}
+        self._counter = itertools.count()
+        #: How many times a node's load vector was actually computed —
+        #: the regression-test observable for the O(log n) contract.
+        self.load_evaluations = 0
+        for hostname in sorted(self._by_name):
+            self._push(self._by_name[hostname])
+
+    @staticmethod
+    def _version(node: ComputeNode) -> tuple[int, int]:
+        gpu_version = (
+            node.gpu_host.state_version if node.gpu_host is not None else -1
+        )
+        return (gpu_version, node.cpu_slots_free)
+
+    def _push(self, node: ComputeNode) -> None:
+        self.load_evaluations += 1
+        if node.gpu_host is not None:
+            gpu_processes = sum(
+                len(d.compute_processes()) for d in node.gpu_host.devices
+            )
+        else:
+            gpu_processes = 0
+        cpu_used = node.resources.cpu_slots - node.cpu_slots_free
+        stamp = next(self._counter)
+        self._latest[node.hostname] = stamp
+        heapq.heappush(
+            self._heap,
+            (
+                (gpu_processes, cpu_used, node.hostname),
+                stamp,
+                self._version(node),
+                node.hostname,
+            ),
+        )
+
+    def best(self) -> ComputeNode:
+        """The least-loaded node, refreshing stale entries lazily."""
+        heap = self._heap
+        while True:
+            _key, stamp, version, hostname = heap[0]
+            node = self._by_name[hostname]
+            if stamp != self._latest[hostname]:
+                heapq.heappop(heap)  # superseded by a fresher entry
+                continue
+            if version != self._version(node):
+                heapq.heappop(heap)
+                self._push(node)  # state changed: recompute once
+                continue
+            return node
+
+
+class NodeLoadIndex:
+    """Indexed node selection for fleet-sized clusters.
+
+    Maintains one :class:`_LoadHeap` per eligibility class — GPU nodes
+    and all nodes — plus the hostname-sorted eligibility lists the
+    round-robin policy rotates over.  Built once per
+    :class:`ClusterDispatcher` and shared by every ``select()`` call.
+    """
+
+    def __init__(self, nodes: list[ComputeNode]) -> None:
+        ordered = sorted(nodes, key=lambda n: n.hostname)
+        #: Hostname-sorted tuples for rotation-style policies.
+        self.all_nodes: tuple[ComputeNode, ...] = tuple(ordered)
+        self.gpu_nodes: tuple[ComputeNode, ...] = tuple(
+            n for n in ordered if n.has_gpus
+        )
+        self._all_heap = _LoadHeap(list(self.all_nodes))
+        self._gpu_heap = (
+            _LoadHeap(list(self.gpu_nodes)) if self.gpu_nodes else None
+        )
+
+    @property
+    def load_evaluations(self) -> int:
+        """Total load-vector computations across both heaps."""
+        total = self._all_heap.load_evaluations
+        if self._gpu_heap is not None:
+            total += self._gpu_heap.load_evaluations
+        return total
+
+    @hot_path
+    def best(self, wants_gpu: bool) -> ComputeNode:
+        """Least-loaded eligible node (GPU nodes first when wanted)."""
+        if wants_gpu and self._gpu_heap is not None:
+            return self._gpu_heap.best()
+        return self._all_heap.best()
+
+    def eligible(self, wants_gpu: bool) -> tuple[ComputeNode, ...]:
+        """The hostname-sorted eligibility list for ``wants_gpu``."""
+        if wants_gpu and self.gpu_nodes:
+            return self.gpu_nodes
+        return self.all_nodes
+
+
 class NodeSelectionPolicy:
     """Base class: pick a node for a job needing (or not) a GPU."""
 
     name = "abstract"
+    #: Shared :class:`NodeLoadIndex`, attached by the dispatcher.  When
+    #: ``None`` (standalone use) policies fall back to full scans.
+    _index: NodeLoadIndex | None = None
+
+    def attach_index(self, index: NodeLoadIndex | None) -> None:
+        """Adopt the dispatcher's load index (``None`` detaches)."""
+        self._index = index
 
     def select(self, nodes: list[ComputeNode], wants_gpu: bool) -> ComputeNode:
         raise NotImplementedError
@@ -99,12 +233,19 @@ class RoundRobinPolicy(NodeSelectionPolicy):
         self._counter = itertools.count()
 
     def select(self, nodes: list[ComputeNode], wants_gpu: bool) -> ComputeNode:
-        eligible = [n for n in sorted(nodes, key=lambda n: n.hostname)
-                    if n.has_gpus] if wants_gpu else sorted(
-                        nodes, key=lambda n: n.hostname)
-        if not eligible:
-            eligible = sorted(nodes, key=lambda n: n.hostname)
-        return eligible[next(self._counter) % len(eligible)]
+        index = self._index
+        if index is not None:
+            # The dispatcher's node set is static: rotate over the
+            # prebuilt hostname-sorted eligibility list instead of
+            # re-sorting the fleet on every call.
+            eligible = index.eligible(wants_gpu)
+            return eligible[next(self._counter) % len(eligible)]
+        scan = [n for n in sorted(nodes, key=lambda n: n.hostname)
+                if n.has_gpus] if wants_gpu else sorted(
+                    nodes, key=lambda n: n.hostname)
+        if not scan:
+            scan = sorted(nodes, key=lambda n: n.hostname)
+        return scan[next(self._counter) % len(scan)]
 
 
 class LeastLoadedPolicy(NodeSelectionPolicy):
@@ -113,6 +254,11 @@ class LeastLoadedPolicy(NodeSelectionPolicy):
     name = "least-loaded"
 
     def select(self, nodes: list[ComputeNode], wants_gpu: bool) -> ComputeNode:
+        index = self._index
+        if index is not None:
+            # O(log n) amortised: only nodes whose state changed since
+            # their last evaluation are recomputed.
+            return index.best(wants_gpu)
         eligible = [n for n in nodes if n.has_gpus] if wants_gpu else list(nodes)
         if not eligible:
             eligible = list(nodes)
@@ -187,6 +333,10 @@ class ClusterDispatcher:
                     f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
                 ) from None
         self.policy = policy
+        #: Shared load index over the (static) node set; policies use it
+        #: for O(log n) indexed selection instead of per-call scans.
+        self.load_index = NodeLoadIndex([d.node for d in deployments])
+        self.policy.attach_index(self.load_index)
         self.max_inflight_per_node = max_inflight_per_node
         self._inflight: dict[str, int] = {name: 0 for name in sorted(names)}
         self.peak_inflight: dict[str, int] = dict(self._inflight)

@@ -9,6 +9,12 @@ and the mapper rejects device selections whose free framebuffer cannot
 hold it, falling back — user-agnostically, as Challenge II demands —
 to CPU execution instead of letting the tool die with a CUDA OOM
 mid-run.
+
+Fleet-scale note: the columnar tier (:mod:`repro.cluster.fleet`) makes
+the analogous admit-or-degrade call per arrival *batch* against slot
+and queue capacity rather than per job against framebuffer bytes — the
+same degrade-before-shed shape at aggregate granularity (see
+``docs/fleet-scale.md``).
 """
 
 from __future__ import annotations

@@ -5,6 +5,12 @@ a job configuration with GYAN's dynamic rules, the GPU computation
 mapper, container runtimes with the GPU flag providers, and the hardware
 usage monitor.  :func:`build_deployment` assembles it; the returned
 :class:`GyanDeployment` exposes every layer for inspection.
+
+This is the *single-deployment* tier: every job is a real
+:class:`~repro.galaxy.job.GalaxyJob` flowing through real wrappers and
+runners.  For fleet-sized aggregate questions (a million jobs over a
+thousand nodes) use the columnar simulation tier in
+:mod:`repro.cluster.fleet` instead — see ``docs/fleet-scale.md``.
 """
 
 from __future__ import annotations

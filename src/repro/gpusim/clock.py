@@ -21,10 +21,14 @@ Performance notes (see ``docs/performance.md``):
   per-second telemetry in bulk instead of scheduling one callback per
   simulated second.  This is what lets the §V-C usage monitor follow a
   >210 h Bonito run without 756k heap operations.
-* :class:`Timeline` keeps its event list incrementally sorted (append
-  fast-path, ``bisect`` insertion otherwise) and serves
-  :meth:`Timeline.between` via binary search and
-  :meth:`Timeline.labelled` from a per-label index instead of full scans.
+* :class:`Timeline` records in O(1): in-order appends extend the sorted
+  prefix directly, out-of-order records land in an unsorted pending
+  buffer.  The shared chronological index (one float key list) and the
+  per-label index are (re)built lazily, at most once per batch of
+  records, and are reused by :meth:`Timeline.between`,
+  :meth:`Timeline.labelled`, iteration, and every exporter sitting on
+  top of them — a 1000-query loop after a 20k-record burst pays for a
+  single merge, not 1000 re-sorts.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from __future__ import annotations
 import bisect
 import heapq
 import itertools
+import operator
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -40,7 +45,7 @@ from repro.gpusim.errors import ClockError
 from repro.hotpath import hot_path
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class TimelineEvent:
     """A timestamped annotation on the simulation timeline.
 
@@ -54,6 +59,14 @@ class TimelineEvent:
     payload: Any = field(default=None, compare=False)
 
 
+#: Chronological sort key shared by the merge and both indices.  ``seq``
+#: is strictly increasing, so ties at the same timestamp keep insertion
+#: order — the same stable contract ``bisect_right`` gave the old
+#: incremental-insert implementation.  ``attrgetter`` keeps the key
+#: extraction in C during the merge sort.
+_event_key = operator.attrgetter("time", "seq")
+
+
 class Timeline:
     """An append-only, time-ordered event log.
 
@@ -62,10 +75,14 @@ class Timeline:
     chronological order even if they were appended out of order (which can
     happen when several simulated processes interleave).
 
-    The event list is kept sorted *incrementally*: in-order appends (the
-    overwhelmingly common case) are O(1), out-of-order records fall back
-    to a ``bisect`` insertion.  Queries therefore never trigger a full
-    re-sort or a defensive copy of the whole log.
+    ``record`` is O(1): in-order appends (the overwhelmingly common case)
+    extend the sorted prefix directly; out-of-order records accumulate in
+    an unsorted pending buffer.  The first query after a batch of records
+    merges the buffer once (timsort over a mostly-sorted list) and
+    rebuilds the shared float time index; the per-label index is likewise
+    built at most once per merge and then served by reference-copy.  All
+    readers — ``between``, ``labelled``, iteration, exporters — reuse the
+    same indices, so a query loop never re-sorts.
     """
 
     def __init__(self) -> None:
@@ -73,8 +90,14 @@ class Timeline:
         #: Parallel list of event times, kept in lockstep with
         #: ``_events`` so ``between()`` can binary-search floats directly.
         self._times: list[float] = []
-        #: Per-label chronological index backing ``labelled()``.
+        #: Out-of-order records awaiting the next lazy merge.  Once this
+        #: is non-empty every new record lands here (cheap append) until
+        #: a reader forces :meth:`_merge_pending`.
+        self._pending: list[TimelineEvent] = []
+        #: Per-label chronological index backing ``labelled()``.  Kept
+        #: fresh on the in-order fast path; rebuilt lazily after merges.
         self._by_label: dict[str, list[TimelineEvent]] = {}
+        self._label_index_dirty = False
         self._counter = itertools.count()
 
     def record(self, time: float, label: str, payload: Any = None) -> TimelineEvent:
@@ -82,34 +105,55 @@ class Timeline:
         if _footprint._RECORDER is not None:
             _footprint._RECORDER.write("timeline")
         event = TimelineEvent(time=time, seq=next(self._counter), label=label, payload=payload)
-        events = self._events
-        if not events or not event < events[-1]:
-            events.append(event)
-            self._times.append(event.time)
+        times = self._times
+        if self._pending or (times and time < times[-1]):
+            # Out of order (or an unmerged batch already exists): defer.
+            # The merge is amortised across the whole batch instead of
+            # paying a list.insert + per-label insort per record.
+            self._pending.append(event)
+            self._label_index_dirty = True
         else:
-            # Out-of-order record: insert at the chronological position.
-            # ``seq`` is strictly increasing, so the new event sorts after
-            # every existing event with the same timestamp (stable order).
-            index = bisect.bisect_right(self._times, event.time)
-            events.insert(index, event)
-            self._times.insert(index, event.time)
-        per_label = self._by_label.setdefault(label, [])
-        if not per_label or not event < per_label[-1]:
-            per_label.append(event)
-        else:
-            bisect.insort_right(per_label, event)
+            self._events.append(event)
+            times.append(time)
+            if not self._label_index_dirty:
+                self._by_label.setdefault(label, []).append(event)
         return event
 
+    def _merge_pending(self) -> None:
+        """Fold the pending buffer into the sorted index (at most once
+        per batch of out-of-order records)."""
+        if not self._pending:
+            return
+        events = self._events + self._pending
+        events.sort(key=_event_key)
+        self._events = events
+        self._times = [event.time for event in events]
+        self._pending.clear()
+        self._label_index_dirty = True
+
+    def _label_index(self) -> dict[str, list[TimelineEvent]]:
+        """The per-label chronological index, rebuilding if stale."""
+        self._merge_pending()
+        if self._label_index_dirty:
+            index: dict[str, list[TimelineEvent]] = {}
+            for event in self._events:
+                index.setdefault(event.label, []).append(event)
+            self._by_label = index
+            self._label_index_dirty = False
+        return self._by_label
+
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) + len(self._pending)
 
     def __iter__(self) -> Iterator[TimelineEvent]:
+        self._merge_pending()
         return iter(self._events)
 
     def between(self, start: float, end: float) -> list[TimelineEvent]:
         """Events with ``start <= time < end``, chronologically."""
         if _footprint._RECORDER is not None:
             _footprint._RECORDER.read("timeline")
+        self._merge_pending()
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
         return self._events[lo:hi]
@@ -118,7 +162,7 @@ class Timeline:
         """All events carrying exactly ``label``."""
         if _footprint._RECORDER is not None:
             _footprint._RECORDER.read("timeline")
-        return list(self._by_label.get(label, ()))
+        return list(self._label_index().get(label, ()))
 
 
 class TimerHandle:

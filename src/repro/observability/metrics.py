@@ -131,6 +131,24 @@ class HistogramChild:
                 self.counts[i] += 1
                 break
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in O(buckets).
+
+        The fleet tier completes jobs in same-service-time *groups*;
+        per-job ``observe`` calls would reintroduce the per-job cost the
+        columnar path exists to avoid, so group latencies aggregate in
+        one bulk fill.
+        """
+        if count <= 0:
+            return
+        value = float(value)
+        self.total += value * count
+        self.count += count
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[i] += count
+                break
+
     def cumulative(self) -> list[int]:
         """Cumulative bucket counts, Prometheus ``le`` semantics."""
         out, running = [], 0
@@ -202,6 +220,9 @@ class Instrument:
 
     def observe(self, value: float) -> None:
         self._require_default().observe(value)
+
+    def observe_many(self, value: float, count: int) -> None:
+        self._require_default().observe_many(value, count)
 
     @property
     def value(self) -> float:

@@ -1,0 +1,176 @@
+"""Diurnal heavy-traffic workload generator for the fleet tier.
+
+Production Galaxy traffic is not a flat Poisson stream: submissions
+follow a day curve (quiet nights, working-hours peak), the user
+population sets the base rate, and incident-style burst storms ride on
+top.  This module generates that shape deterministically — seeded
+Poisson arrivals per tick, modulated by a 24-entry day curve and any
+configured :class:`BurstStorm` windows — as *batched* arrival groups:
+every tick emits at most one :class:`ArrivalBatch` per tool class, which
+is exactly the same-instant burst shape the columnar fleet path
+(:mod:`repro.cluster.fleet`) amortises its mapping over.
+
+Everything is pure and seeded: the same :class:`DiurnalProfile` always
+yields byte-identical batches, which the fleet determinism tests rely
+on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.hotpath import hot_path
+
+#: Seconds per day / per curve slot.
+DAY_SECONDS = 86_400.0
+HOUR_SECONDS = 3_600.0
+
+#: Default 24-entry day curve (index = hour of day), normalised below.
+#: Shape: 03:00 trough, steady morning ramp, 14:00–16:00 peak, evening
+#: tail — the classic academic-service submission profile.
+DEFAULT_DAY_CURVE: tuple[float, ...] = (
+    0.45, 0.38, 0.33, 0.30, 0.32, 0.40,
+    0.55, 0.75, 1.00, 1.25, 1.45, 1.55,
+    1.50, 1.55, 1.65, 1.60, 1.45, 1.30,
+    1.15, 1.05, 0.95, 0.80, 0.65, 0.52,
+)
+
+
+@dataclass(frozen=True)
+class FleetToolClass:
+    """One tool population in the fleet workload mix.
+
+    ``gpu_seconds``/``cpu_seconds`` are the service times on the GPU and
+    CPU arms; ``degradable`` marks classes whose CPU fallback is
+    acceptable under overload (the brownout-style degrade-before-shed
+    arm from PR 7) — long-running basecallers are not degradable, so
+    they queue and ultimately shed instead.
+    """
+
+    name: str
+    gpu_eligible: bool
+    gpu_seconds: float
+    cpu_seconds: float
+    weight: float
+    degradable: bool = False
+
+
+#: The paper-flavoured default mix: GYAN's two GPU tools plus the CPU
+#: bulk that dominates real Galaxy traffic (weights sum to 1).
+DEFAULT_FLEET_TOOLS: tuple[FleetToolClass, ...] = (
+    FleetToolClass("racon_gpu", True, 240.0, 2_400.0, 0.20, degradable=True),
+    FleetToolClass("bonito_gpu", True, 900.0, 21_600.0, 0.10),
+    FleetToolClass("minimap2_cpu", False, 0.0, 300.0, 0.30),
+    FleetToolClass("bwa_mem_cpu", False, 0.0, 600.0, 0.25),
+    FleetToolClass("fastqc_cpu", False, 0.0, 120.0, 0.15),
+)
+
+
+@dataclass(frozen=True)
+class BurstStorm:
+    """A rate-multiplier window layered over the day curve."""
+
+    start: float  #: seconds from the horizon start
+    duration: float
+    multiplier: float
+
+
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """All same-class arrivals of one tick, as one same-instant burst."""
+
+    time: float
+    tool: int  #: index into the profile's tool table
+    count: int
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Knobs of the generator (see ``docs/fleet-scale.md``)."""
+
+    users: int = 10_000
+    jobs_per_user_day: float = 2.5
+    days: float = 1.0
+    tick_seconds: float = 60.0
+    day_curve: tuple[float, ...] = DEFAULT_DAY_CURVE
+    tools: tuple[FleetToolClass, ...] = DEFAULT_FLEET_TOOLS
+    storms: tuple[BurstStorm, ...] = ()
+    seed: int = 0
+
+    @property
+    def expected_jobs(self) -> float:
+        """Expected arrivals over the horizon, storms excluded."""
+        return self.users * self.jobs_per_user_day * self.days
+
+    def scaled_to(self, target_jobs: int) -> "DiurnalProfile":
+        """The same shape with the user population resized so expected
+        arrivals (storms excluded) reach ``target_jobs``."""
+        users = math.ceil(target_jobs / (self.jobs_per_user_day * self.days))
+        return replace(self, users=users)
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """A seeded Poisson draw.
+
+    Knuth's product method below λ=30 (exact, O(λ)); above that a
+    normal approximation (rounded, clamped) keeps large-λ ticks O(1) —
+    at fleet rates λ per tick runs into the hundreds and the exact
+    method's λ multiplications per draw would dominate generation.
+    """
+    if lam <= 0.0:
+        return 0
+    if lam < 30.0:
+        threshold = math.exp(-lam)
+        count, product = 0, rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+    sample = rng.gauss(lam, math.sqrt(lam))
+    return max(0, round(sample))
+
+
+def storm_multiplier(storms: tuple[BurstStorm, ...], t: float) -> float:
+    """Combined storm multiplier active at instant ``t``."""
+    factor = 1.0
+    for storm in storms:
+        if storm.start <= t < storm.start + storm.duration:
+            factor *= storm.multiplier
+    return factor
+
+
+@hot_path
+def diurnal_batches(profile: DiurnalProfile) -> list[ArrivalBatch]:
+    """Generate the seeded arrival batches for one profile.
+
+    Returns batches sorted by (time, tool index); ticks or classes that
+    drew zero arrivals emit nothing.  The day curve is normalised to
+    mean 1.0, so the expected total (storms excluded) is exactly
+    :attr:`DiurnalProfile.expected_jobs`.
+    """
+    if not profile.tools:
+        raise ValueError("profile needs at least one tool class")
+    if len(profile.day_curve) != 24:
+        raise ValueError(
+            f"day_curve needs 24 hourly entries, got {len(profile.day_curve)}"
+        )
+    rng = random.Random(profile.seed)
+    curve_mean = sum(profile.day_curve) / len(profile.day_curve)
+    base_rate = profile.expected_jobs / (profile.days * DAY_SECONDS)
+    horizon = profile.days * DAY_SECONDS
+    tick = profile.tick_seconds
+    batches: list[ArrivalBatch] = []
+    ticks = int(horizon / tick)
+    for i in range(ticks):
+        t = i * tick
+        hour = int((t % DAY_SECONDS) / HOUR_SECONDS)
+        shape = profile.day_curve[hour] / curve_mean
+        rate = base_rate * shape * storm_multiplier(profile.storms, t)
+        lam_tick = rate * tick
+        for tool_index, tool in enumerate(profile.tools):
+            count = _poisson(rng, lam_tick * tool.weight)
+            if count:
+                batches.append(ArrivalBatch(time=t, tool=tool_index, count=count))
+    return batches

@@ -8,8 +8,10 @@ import pytest
 from repro.benchmarking import (
     BENCH_SCHEMA,
     BenchScenario,
+    RunOutcome,
     run_suite,
     sim_core_suite,
+    suite_scenarios,
 )
 from repro.benchmarking.harness import run_scenario, validate_report_dict
 from repro.cli import main
@@ -79,7 +81,8 @@ class TestReportSchema:
         entries = report.as_dict()["scenarios"]
         expected = {
             "name", "description", "repeats", "simulated_seconds",
-            "sim_seconds_per_wall_second", "wall_seconds", "workload",
+            "sim_seconds_per_wall_second", "wall_seconds",
+            "work_units", "work_units_per_second", "workload",
         }
         assert all(set(entry) == expected for entry in entries)
         assert all(
@@ -102,6 +105,67 @@ class TestSimCoreSuite:
         ]
         report = run_suite(scenarios, suite="sim_core", repeats=1, quick=True)
         assert validate_report_dict(report.as_dict()) == []
+
+
+class TestRunOutcome:
+    def test_outcome_carries_work_units(self):
+        scenario = BenchScenario(
+            name="outcome",
+            description="returns a structured outcome",
+            setup=lambda: None,
+            run=lambda ctx: RunOutcome(simulated_seconds=5.0, work_units=50.0),
+            workload={},
+        )
+        result = run_scenario(scenario, repeats=2)
+        assert result.simulated_seconds == 5.0
+        assert result.work_units == 50.0
+        assert result.work_units_per_second > 0
+
+    def test_plain_float_return_still_works(self):
+        result = run_scenario(tiny_scenario(simulated=7.0), repeats=1)
+        assert result.simulated_seconds == 7.0
+        assert result.work_units == 0.0
+        assert result.work_units_per_second == 0.0
+
+
+class TestFleetCoreSuite:
+    def test_suite_scenarios_resolves_both_suites(self):
+        assert [s.name for s in suite_scenarios("sim_core", quick=True)] == [
+            s.name for s in sim_core_suite(quick=True)
+        ]
+        fleet = suite_scenarios("fleet_core", quick=True)
+        assert "fleet-map-throughput" in [s.name for s in fleet]
+        with pytest.raises(ValueError):
+            suite_scenarios("nope")
+
+    def test_quick_and_full_have_identical_scenario_names(self):
+        quick = [s.name for s in suite_scenarios("fleet_core", quick=True)]
+        full = [s.name for s in suite_scenarios("fleet_core", quick=False)]
+        assert quick == full
+
+    def test_quick_fleet_throughput_runs_and_validates(self):
+        scenarios = [
+            s for s in suite_scenarios("fleet_core", quick=True)
+            if s.name == "fleet-map-throughput"
+        ]
+        report = run_suite(scenarios, suite="fleet_core", repeats=1, quick=True)
+        data = report.as_dict()
+        assert validate_report_dict(data) == []
+        entry = data["scenarios"][0]
+        assert entry["work_units"] > 0
+        assert entry["simulated_seconds"] > 0
+
+    def test_fleet_cli_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fleet_core.json"
+        code = main([
+            "bench", "--suite", "fleet_core", "--quick", "--repeats", "1",
+            "--scenario", "diurnal-generate", "--output", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert validate_report_dict(data) == []
+        assert data["suite"] == "fleet_core"
+        assert "diurnal-generate" in capsys.readouterr().out
 
 
 class TestCli:

@@ -1,0 +1,140 @@
+"""Columnar :class:`JobStore`: range transitions, digests, encodings."""
+
+import pytest
+
+from repro.cluster.jobstore import (
+    NO_INSTANT,
+    NO_NODE,
+    SHED_REASON_BY_CODE,
+    SHED_REASON_CODE,
+    FleetJobState,
+    JobStore,
+)
+from repro.resilience.shedding import ShedReason
+
+
+class TestAppend:
+    def test_append_batch_returns_contiguous_range(self):
+        store = JobStore()
+        lo, hi = store.append_batch(5, tool=2, submit=10.0, deadline=70.0)
+        assert (lo, hi) == (0, 5)
+        lo2, hi2 = store.append_batch(3, tool=0, submit=20.0, deadline=80.0)
+        assert (lo2, hi2) == (5, 8)
+        assert len(store) == 8
+
+    def test_appended_rows_are_pending_with_sentinels(self):
+        store = JobStore()
+        store.append_batch(2, tool=1, submit=5.0, deadline=65.0)
+        row = store.row(1)
+        assert row.state is FleetJobState.PENDING
+        assert row.tool == 1
+        assert row.submit == 5.0
+        assert row.deadline == 65.0
+        assert row.destination == NO_NODE
+        assert row.hops == 0
+        assert row.shed is None
+        assert row.start == NO_INSTANT
+        assert row.finish == NO_INSTANT
+        assert row.gpu is False
+
+    def test_empty_batch_rejected(self):
+        store = JobStore()
+        with pytest.raises(ValueError):
+            store.append_batch(0, tool=0, submit=0.0, deadline=1.0)
+
+
+class TestTransitions:
+    def test_gpu_lifecycle(self):
+        store = JobStore()
+        store.append_batch(4, tool=0, submit=0.0, deadline=60.0)
+        store.start_range(0, 4, node=7, now=1.0, gpu=True)
+        assert store.row(2).state is FleetJobState.RUNNING
+        assert store.row(2).destination == 7
+        assert store.row(2).gpu is True
+        store.complete_range(0, 4, now=11.0)
+        assert store.row(0).state is FleetJobState.COMPLETED
+        assert store.row(0).finish == 11.0
+
+    def test_queue_then_partial_start(self):
+        store = JobStore()
+        store.append_batch(6, tool=1, submit=0.0, deadline=60.0)
+        store.queue_range(0, 6, node=3)
+        assert all(r.state is FleetJobState.QUEUED for r in store.rows())
+        store.start_range(0, 2, node=3, now=5.0, gpu=True)
+        assert store.row(1).state is FleetJobState.RUNNING
+        assert store.row(2).state is FleetJobState.QUEUED
+
+    def test_shed_records_reason(self):
+        store = JobStore()
+        store.append_batch(3, tool=0, submit=0.0, deadline=60.0)
+        store.shed_range(0, 3, ShedReason.QUEUE_FULL, now=2.0)
+        row = store.row(1)
+        assert row.state is FleetJobState.SHED
+        assert row.shed is ShedReason.QUEUE_FULL
+        assert row.finish == 2.0
+
+    def test_resubmit_increments_hops_and_resets_placement(self):
+        store = JobStore()
+        store.append_batch(2, tool=0, submit=0.0, deadline=60.0)
+        store.start_range(0, 2, node=1, now=1.0, gpu=True)
+        store.resubmit_range(0, 2)
+        row = store.row(0)
+        assert row.state is FleetJobState.PENDING
+        assert row.hops == 1
+        assert row.destination == NO_NODE
+        assert row.start == NO_INSTANT
+        assert row.gpu is False
+        store.resubmit_range(0, 1)
+        assert store.row(0).hops == 2
+        assert store.row(1).hops == 1
+
+    def test_fail_range_is_terminal(self):
+        store = JobStore()
+        store.append_batch(1, tool=0, submit=0.0, deadline=60.0)
+        store.fail_range(0, 1, now=9.0)
+        assert store.row(0).state is FleetJobState.FAILED
+        assert store.row(0).finish == 9.0
+
+
+class TestDigestAndCounts:
+    def test_count_by_state_only_reports_nonzero(self):
+        store = JobStore()
+        store.append_batch(3, tool=0, submit=0.0, deadline=60.0)
+        store.start_range(0, 1, node=0, now=0.0, gpu=True)
+        assert store.count_by_state() == {"PENDING": 2, "RUNNING": 1}
+
+    def test_digest_is_bitwise(self):
+        a, b = JobStore(), JobStore()
+        for store in (a, b):
+            store.append_batch(4, tool=1, submit=0.0, deadline=60.0)
+            store.start_range(0, 4, node=2, now=1.0, gpu=True)
+        assert a.digest() == b.digest()
+        b.complete_range(3, 4, now=5.0)
+        assert a.digest() != b.digest()
+
+    def test_range_ops_equal_per_row_ops(self):
+        """The columnar-vs-reference contract in miniature: one bulk
+        range op and N single-row ops must produce identical bytes."""
+        bulk, perjob = JobStore(), JobStore()
+        bulk.append_batch(8, tool=2, submit=3.0, deadline=63.0)
+        perjob.append_batch(8, tool=2, submit=3.0, deadline=63.0)
+        bulk.start_range(0, 8, node=5, now=4.0, gpu=True)
+        for i in range(8):
+            perjob.start_range(i, i + 1, node=5, now=4.0, gpu=True)
+        bulk.complete_range(0, 4, now=10.0)
+        for i in range(4):
+            perjob.complete_range(i, i + 1, now=10.0)
+        bulk.shed_range(4, 8, ShedReason.DEADLINE_EXPIRED, now=70.0)
+        for i in range(4, 8):
+            perjob.shed_range(i, i + 1, ShedReason.DEADLINE_EXPIRED, now=70.0)
+        assert bulk.digest() == perjob.digest()
+
+
+class TestShedEncoding:
+    def test_codes_round_trip_every_reason(self):
+        for reason in ShedReason:
+            assert SHED_REASON_BY_CODE[SHED_REASON_CODE[reason]] is reason
+
+    def test_codes_are_stable_definition_order(self):
+        assert SHED_REASON_CODE[ShedReason.QUEUE_FULL] == 0
+        assert len(SHED_REASON_CODE) == len(ShedReason)

@@ -110,3 +110,60 @@ class TestNodeLoad:
         node = next(n for n in cluster.nodes if n.hostname == "cpu-node-0")
         load = node_load(node)
         assert load.gpu_total == 0 and load.cpu_free == 48
+
+
+class TestNodeLoadIndex:
+    def test_dispatcher_attaches_shared_index(self, cluster):
+        assert cluster.load_index is not None
+        assert cluster.policy._index is cluster.load_index
+
+    def test_least_loaded_select_does_not_rescan_fleet(self):
+        """The O(log n) regression guard: repeated selects on an idle
+        cluster must not recompute node_load per call.  The historical
+        scan evaluated every node's load vector on every select; the
+        indexed path only re-evaluates a node when its state version
+        actually changed."""
+        cluster = build_cluster(gpu_nodes=3, cpu_nodes=1, policy="least-loaded")
+        index = cluster.load_index
+        baseline = index.load_evaluations  # initial heap build
+        for _ in range(50):
+            cluster.policy.select(cluster.nodes, wants_gpu=True)
+            cluster.policy.select(cluster.nodes, wants_gpu=False)
+        # Zero state changes happened, so zero re-evaluations: the old
+        # full-scan behaviour would have cost 100 x nodes evaluations.
+        assert index.load_evaluations == baseline
+
+    def test_index_reevaluates_only_changed_nodes(self):
+        cluster = build_cluster(gpu_nodes=2, cpu_nodes=0, policy="least-loaded")
+        index = cluster.load_index
+        cluster.policy.select(cluster.nodes, wants_gpu=True)
+        baseline = index.load_evaluations
+        handle = cluster.launch_overlapped("racon")  # mutates one node
+        after_launch = index.load_evaluations
+        cluster.policy.select(cluster.nodes, wants_gpu=True)
+        # At most a couple of evaluations (the changed node, per heap),
+        # never a whole-fleet rescan.
+        assert index.load_evaluations - baseline <= 4
+        cluster.finish_overlapped(*handle)
+
+    def test_indexed_least_loaded_matches_scan(self):
+        """Indexed selection must agree with the historical full scan."""
+        cluster = build_cluster(gpu_nodes=3, cpu_nodes=0, policy="least-loaded")
+        handles = [cluster.launch_overlapped("racon") for _ in range(2)]
+        indexed = cluster.policy.select(cluster.nodes, wants_gpu=True)
+        detached = LeastLoadedPolicy()  # no index: full scan
+        scanned = detached.select(cluster.nodes, wants_gpu=True)
+        assert indexed.hostname == scanned.hostname
+        for handle in handles:
+            cluster.finish_overlapped(*handle)
+
+    def test_round_robin_uses_prebuilt_eligibility(self):
+        cluster = build_cluster(gpu_nodes=2, cpu_nodes=1, policy="round-robin")
+        index = cluster.load_index
+        baseline = index.load_evaluations
+        seen = {
+            cluster.policy.select(cluster.nodes, wants_gpu=True).hostname
+            for _ in range(4)
+        }
+        assert seen == {"gpu-node-0", "gpu-node-1"}
+        assert index.load_evaluations == baseline

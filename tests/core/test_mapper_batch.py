@@ -1,0 +1,106 @@
+"""Batched mapping: probe amortisation and per-job-path parity."""
+
+import pytest
+
+from repro.core.mapper import GpuComputationMapper
+from repro.galaxy.job import GalaxyJob
+from repro.galaxy.tool_xml import parse_tool_xml
+from repro.gpusim.host import make_k80_host
+
+GPU_TOOL_XML = (
+    '<tool id="batch_gpu"><requirements>'
+    '<requirement type="compute">gpu</requirement>'
+    "</requirements><command>racon_gpu</command></tool>"
+)
+CPU_TOOL_XML = '<tool id="batch_cpu"><command>minimap2</command></tool>'
+
+
+def gpu_jobs(count):
+    tool = parse_tool_xml(GPU_TOOL_XML)
+    return [GalaxyJob(tool=tool) for _ in range(count)]
+
+
+class TestProbeAmortisation:
+    def test_batch_probes_at_least_10x_fewer_than_per_job(self):
+        """The ISSUE's acceptance counter: one batch of N same-instant
+        jobs costs a single probe where the uncached per-job loop costs
+        N — asserted on the mapper's own probe counters."""
+        jobs = 100
+
+        perjob = GpuComputationMapper(
+            make_k80_host(boards=1), cache_snapshots=False
+        )
+        for job in gpu_jobs(jobs):
+            perjob.prepare_environment(job)
+
+        batched = GpuComputationMapper(
+            make_k80_host(boards=1), cache_snapshots=False
+        )
+        batched.prepare_environment_batch(gpu_jobs(jobs))
+
+        assert perjob.snapshot_probes == jobs
+        assert batched.snapshot_probes == 1
+        assert perjob.snapshot_probes >= 10 * batched.snapshot_probes
+
+    def test_batch_counters_track_batches_and_jobs(self):
+        mapper = GpuComputationMapper(make_k80_host(boards=1))
+        mapper.prepare_environment_batch(gpu_jobs(5))
+        mapper.prepare_environment_batch(gpu_jobs(3))
+        assert mapper.batches_mapped == 2
+        assert mapper.batched_jobs_mapped == 8
+
+    def test_empty_batch_is_free(self):
+        mapper = GpuComputationMapper(make_k80_host(boards=1))
+        assert mapper.prepare_environment_batch([]) == []
+        assert mapper.batches_mapped == 0
+        assert mapper.snapshot_probes == 0
+
+
+class TestBatchParity:
+    def test_batch_envs_match_per_job_envs(self):
+        """Same jobs, same instant: batched decisions must be exactly
+        the per-job decisions (env dicts and history records)."""
+        jobs = 32
+        perjob = GpuComputationMapper(make_k80_host(boards=1))
+        batched = GpuComputationMapper(make_k80_host(boards=1))
+        expected = [perjob.prepare_environment(j) for j in gpu_jobs(jobs)]
+        actual = batched.prepare_environment_batch(gpu_jobs(jobs))
+        assert actual == expected
+        assert [
+            (r.tool_id, r.gpu_enabled, r.requested_ids)
+            for r in batched.history
+        ] == [
+            (r.tool_id, r.gpu_enabled, r.requested_ids)
+            for r in perjob.history
+        ]
+
+    def test_mixed_batch_handles_cpu_tools(self):
+        mapper = GpuComputationMapper(make_k80_host(boards=1))
+        cpu_tool = parse_tool_xml(CPU_TOOL_XML)
+        batch = gpu_jobs(2) + [GalaxyJob(tool=cpu_tool)] + gpu_jobs(1)
+        envs = mapper.prepare_environment_batch(batch)
+        assert len(envs) == 4
+        assert envs[2]["GALAXY_GPU_ENABLED"] == "false"
+        assert envs[0]["GALAXY_GPU_ENABLED"] == "true"
+        # CPU-only jobs must not trigger a probe on their own
+        assert mapper.snapshot_probes == 1
+
+    def test_gpuless_host_degrades_whole_batch(self):
+        mapper = GpuComputationMapper(None)
+        envs = mapper.prepare_environment_batch(gpu_jobs(4))
+        assert all(env["GALAXY_GPU_ENABLED"] == "false" for env in envs)
+
+    def test_decision_counters_match_per_job_path(self):
+        jobs = 16
+        perjob = GpuComputationMapper(make_k80_host(boards=1))
+        batched = GpuComputationMapper(make_k80_host(boards=1))
+        for job in gpu_jobs(jobs):
+            perjob.prepare_environment(job)
+        batched.prepare_environment_batch(gpu_jobs(jobs))
+        name = "gyan_mapper_decisions_total"
+        strategy = perjob.strategy.name
+        assert perjob.metrics_registry.value(
+            name, strategy=strategy, outcome="gpu"
+        ) == batched.metrics_registry.value(
+            name, strategy=strategy, outcome="gpu"
+        )
