@@ -353,6 +353,25 @@ VER503 = _rule(
     "hits a transient fault is guaranteed to expire mid-retry, so the "
     "retry budget is wasted work that always ends in a deadline shed.",
 )
+VER504 = _rule(
+    "VER504", "autoscaler max pool can never clear the declared peak",
+    Severity.ERROR, "verifier",
+    "An autoscale plan's fully-scaled-out pool (max_nodes x "
+    "gpus_per_node slots) is smaller than the concurrent slot demand its "
+    "own workload envelope declares (peak arrival rate x mean service "
+    "time, Little's law): even at max scale the queues grow without "
+    "bound through every peak and the overflow sheds. Elasticity cannot "
+    "fix an undersized ceiling.",
+)
+VER505 = _rule(
+    "VER505", "provisioning reaction slower than the shed deadline",
+    Severity.WARNING, "verifier",
+    "The autoscaler's worst-case reaction time (hysteresis_windows x "
+    "eval_interval_s + provision_lag_s) is not shorter than the "
+    "deadline_s the workload envelope declares: when a burst arrives, "
+    "queued jobs expire and shed before the first elastic node lands, "
+    "so scale-up only ever helps the tail of a storm.",
+)
 
 # --------------------------------------------------------------------- #
 # determinism (DET4xx static, DET5xx dynamic) — fired by

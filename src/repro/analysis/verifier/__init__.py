@@ -13,9 +13,12 @@ it:
 * :mod:`~repro.analysis.verifier.model_check` (VER4xx) exhaustively
   explores bounded fault schedules against the real mapper / health /
   resubmit machinery and emits replayable counterexample chaos plans;
-* :mod:`~repro.analysis.verifier.overload` (VER5xx) checks that the
-  overload-protection knobs (queue bounds, degrade arms, deadlines)
-  cover the routing graph coherently.
+* :mod:`~repro.analysis.verifier.overload` (VER501-503) checks that
+  the overload-protection knobs (queue bounds, degrade arms,
+  deadlines) cover the routing graph coherently;
+* :mod:`~repro.analysis.verifier.autoscale` (VER504-505) checks that
+  shipped ``gyan.autoscale/v1`` plans can actually clear their own
+  declared peak demand and react inside the shed deadline.
 
 Entry point: :func:`~repro.analysis.verifier.driver.verify_paths`,
 shipped as ``python -m repro verify``.

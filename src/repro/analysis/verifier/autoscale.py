@@ -1,0 +1,74 @@
+"""VER504/VER505: can the elastic pool actually absorb its workload?
+
+A ``gyan.autoscale/v1`` plan shipped next to a job_conf declares the
+pool knobs (reusing the runtime's :class:`AutoscalerConfig` verbatim)
+plus a workload envelope: the peak GPU arrival rate, the mean service
+time and, optionally, the queue-wait deadline jobs shed at.  Two
+static questions follow directly:
+
+* VER504 — with the pool fully scaled out, do
+  ``max_nodes x gpus_per_node`` slots cover the Little's-law demand
+  ``peak rate x mean service``?  If not, no amount of elasticity
+  clears the peak: the ceiling itself is undersized.
+* VER505 — is the worst-case reaction time
+  (``hysteresis_windows x eval_interval_s + provision_lag_s``)
+  shorter than the declared deadline?  If not, a burst sheds its
+  queue before the first provisioned node arrives warm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import rules as R
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.findings import Finding
+from repro.analysis.verifier.ir import DeploymentIR
+
+
+def analyze_autoscale(ir: DeploymentIR, ctx: ConfigContext) -> list[Finding]:
+    del ctx  # the plan carries its own pool geometry
+    findings: list[Finding] = []
+    for node in ir.autoscalers:
+        plan = node.plan
+        envelope = plan.envelope
+        if envelope is None:
+            continue
+        demand = envelope.peak_slot_demand
+        if demand > plan.max_slots:
+            nodes_needed = math.ceil(demand / plan.gpus_per_node)
+            findings.append(
+                R.VER504.finding(
+                    f"autoscale plan {plan.name!r} tops out at "
+                    f"{plan.config.max_nodes} nodes x {plan.gpus_per_node} "
+                    f"GPUs = {plan.max_slots} slots, but its declared peak "
+                    f"({envelope.peak_gpu_jobs_per_hour:g} GPU jobs/h x "
+                    f"{envelope.mean_gpu_seconds:g} s mean service) "
+                    f"occupies {demand} concurrent slots: even fully "
+                    "scaled out the queues grow through every peak",
+                    node.span.path,
+                    node.span.line,
+                    suggestion=f"raise max_nodes to at least {nodes_needed} "
+                    "(or add GPUs per node / shrink the declared peak)",
+                )
+            )
+        deadline = envelope.deadline_s
+        if deadline is not None and plan.reaction_s >= deadline:
+            cfg = plan.config
+            findings.append(
+                R.VER505.finding(
+                    f"autoscale plan {plan.name!r} reacts in "
+                    f"{plan.reaction_s:g} s worst case "
+                    f"({cfg.hysteresis_windows} windows x "
+                    f"{cfg.eval_interval_s:g} s + {cfg.provision_lag_s:g} s "
+                    f"lag), not under the {deadline:g} s shed deadline: "
+                    "burst queues expire before the first elastic node "
+                    "lands",
+                    node.span.path,
+                    node.span.line,
+                    suggestion="shorten eval_interval_s / hysteresis, "
+                    "procure faster-provisioning capacity, or raise the "
+                    "deadline",
+                )
+            )
+    return findings

@@ -5,8 +5,8 @@ builds one :class:`~repro.analysis.verifier.ir.DeploymentIR` per
 job_conf reachable from the given paths, then runs the three pass
 families over each deployment:
 
-* dataflow (VER2xx), capacity (VER3xx) and overload (VER5xx) — pure
-  static passes;
+* dataflow (VER2xx), capacity (VER3xx), overload (VER501-503) and
+  autoscale (VER504-505) — pure static passes;
 * the small-scope model checker (VER4xx) — bounded exhaustive replay,
   skippable with ``model_check=False`` for a fast static-only run.
 
@@ -31,6 +31,7 @@ from repro.analysis.linter import (
     EXIT_USAGE,
     finding_sort_key,
 )
+from repro.analysis.verifier.autoscale import analyze_autoscale
 from repro.analysis.verifier.capacity import analyze_capacity
 from repro.analysis.verifier.dataflow import analyze_dataflow
 from repro.analysis.verifier.ir import load_deployments
@@ -135,6 +136,7 @@ def verify_paths(
         report.findings.extend(analyze_dataflow(ir, ctx))
         report.findings.extend(analyze_capacity(ir, ctx))
         report.findings.extend(analyze_overload(ir, ctx))
+        report.findings.extend(analyze_autoscale(ir, ctx))
         if options.model_check:
             findings, counterexamples, result = analyze_model_check(
                 ir, options.scope

@@ -29,6 +29,7 @@ from repro.galaxy.job_conf import (
     parse_bool_param,
     parse_job_conf_xml,
 )
+from repro.cluster.autoscale import AUTOSCALE_SCHEMA, AutoscalePlan
 from repro.galaxy.tool_xml import ToolDefinition, parse_tool_xml
 from repro.gpusim.faults import InjectionPlan
 
@@ -136,6 +137,15 @@ class ChaosPlanNode:
     span: Span
 
 
+@dataclass
+class AutoscalePlanNode:
+    """One ``gyan.autoscale/v1`` plan shipped with the deployment."""
+
+    name: str
+    plan: AutoscalePlan
+    span: Span
+
+
 @dataclass(frozen=True)
 class RouteEdge:
     """One routing step: tool->destination or destination->destination."""
@@ -156,6 +166,7 @@ class DeploymentIR:
     destinations: dict[str, DestinationNode] = field(default_factory=dict)
     tools: list[ToolNode] = field(default_factory=list)
     plans: list[ChaosPlanNode] = field(default_factory=list)
+    autoscalers: list[AutoscalePlanNode] = field(default_factory=list)
     edges: list[RouteEdge] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
@@ -249,6 +260,12 @@ def _discover(paths: list[str]) -> tuple[list[Path], list[str]]:
 
 def _looks_like_plan(data: object) -> bool:
     return isinstance(data, dict) and "events" in data
+
+
+def _looks_like_autoscale(data: object) -> bool:
+    return (
+        isinstance(data, dict) and data.get("schema") == AUTOSCALE_SCHEMA
+    )
 
 
 def _build_edges(ir: DeploymentIR) -> None:
@@ -379,6 +396,26 @@ def load_deployments(
                 data = json.loads(texts[path])
             except json.JSONDecodeError:
                 continue  # arbitrary JSON next to configs is not ours
+            if _looks_like_autoscale(data):
+                try:
+                    scale_plan = AutoscalePlan.from_dict(data)
+                except (KeyError, TypeError, ValueError) as exc:
+                    findings.append(
+                        R.VER200.finding(
+                            f"autoscale plan does not load: {exc}",
+                            str(path),
+                        )
+                    )
+                    continue
+                if owner is not None:
+                    owner.autoscalers.append(
+                        AutoscalePlanNode(
+                            name=scale_plan.name,
+                            plan=scale_plan,
+                            span=Span(str(path), 1),
+                        )
+                    )
+                continue
             if not _looks_like_plan(data):
                 continue
             try:
@@ -405,6 +442,7 @@ def load_deployments(
     for ir in out:
         ir.tools.sort(key=lambda t: t.tool_id)
         ir.plans.sort(key=lambda p: p.span.path)
+        ir.autoscalers.sort(key=lambda a: a.span.path)
         _build_edges(ir)
     out.sort(key=lambda ir: ir.job_conf_path)
     return out, findings, errors

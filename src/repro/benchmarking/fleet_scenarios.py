@@ -28,6 +28,15 @@ times the fleet tier end to end:
 ``diurnal-generate``
     The seeded diurnal workload generator producing a ≥1M-job day —
     the cost of the arrival side of the headline scenario.
+``fleet-policy-spread`` / ``fleet-policy-pack`` /
+``fleet-policy-benefit-aware``
+    The canonical A/B storm day (same diurnal seed, same midday surge,
+    see :func:`repro.workloads.diurnal.ab_storm_profile`) under each
+    placement policy — the three runs CI diffs against each other.
+``fleet-autoscale-day``
+    The headline diurnal day on an elastic node pool: the autoscaler
+    grows into the working-hours peak behind the provisioning lag and
+    drains back to the base pool overnight.
 
 Sizes shrink under ``--quick`` (the CI ``fleet-bench-smoke``
 configuration: 10 nodes, ~10k jobs) but the schema and scenario set
@@ -37,6 +46,7 @@ stay identical.
 from __future__ import annotations
 
 from repro.benchmarking.harness import BenchScenario, RunOutcome
+from repro.cluster.autoscale import PLACEMENT_POLICIES
 
 SUITE_NAME = "fleet_core"
 
@@ -62,6 +72,18 @@ QUICK_SELECT_CALLS = 500
 
 GENERATE_JOBS = 1_100_000
 QUICK_GENERATE_JOBS = 100_000
+
+#: Policy A/B: the canonical storm fixture (see
+#: :data:`repro.cluster.fleet.AB_FLEET_JOBS`) shrunk under ``--quick``.
+POLICY_JOBS = 40_000
+QUICK_POLICY_JOBS = 8_000
+
+AUTOSCALE_NODES = 1000
+AUTOSCALE_MIN_NODES = 250
+AUTOSCALE_JOBS = 1_100_000
+QUICK_AUTOSCALE_NODES = 10
+QUICK_AUTOSCALE_MIN_NODES = 3
+QUICK_AUTOSCALE_JOBS = 10_000
 
 
 _GPU_TOOL_XML = (
@@ -249,6 +271,85 @@ def _node_select_scenario(nodes: int, calls: int) -> BenchScenario:
     )
 
 
+def _policy_scenario(policy: str, jobs: int) -> BenchScenario:
+    def setup():
+        from repro.cluster.fleet import ab_fleet_config
+        from repro.workloads.diurnal import ab_storm_profile, diurnal_batches
+
+        config = ab_fleet_config(placement=policy)
+        profile = ab_storm_profile(jobs)
+        return config, profile.tools, diurnal_batches(profile)
+
+    def run(context) -> RunOutcome:
+        from repro.cluster.fleet import FleetSimulator
+
+        config, tools, batches = context
+        result = FleetSimulator(config, tools).run(batches)
+        return RunOutcome(
+            simulated_seconds=result.end_time,
+            work_units=float(result.mapping_decisions),
+        )
+
+    return BenchScenario(
+        name=f"fleet-policy-{policy}",
+        description=f"the canonical A/B storm day under the {policy} "
+                    "placement policy (same seed across all three)",
+        setup=setup,
+        run=run,
+        workload={"policy": policy, "target_jobs": jobs,
+                  "fixture": "ab_storm_profile"},
+        entry_points=(
+            "repro.cluster.fleet.FleetSimulator._place_range",
+            "repro.cluster.fleet.FleetSimulator._drain_queue",
+        ),
+    )
+
+
+def _autoscale_scenario(nodes: int, min_nodes: int, jobs: int) -> BenchScenario:
+    def setup():
+        from repro.cluster.autoscale import AutoscalerConfig
+        from repro.cluster.fleet import FleetConfig
+        from repro.workloads.diurnal import DiurnalProfile, diurnal_batches
+
+        profile = DiurnalProfile(seed=42).scaled_to(jobs)
+        config = FleetConfig(
+            nodes=nodes,
+            gpus_per_node=FLEET_GPUS_PER_NODE,
+            autoscale=AutoscalerConfig(
+                min_nodes=min_nodes,
+                max_nodes=nodes,
+                scale_up_step=max(1, nodes // 10),
+                scale_down_step=max(1, nodes // 20),
+            ),
+        )
+        return config, profile.tools, diurnal_batches(profile)
+
+    def run(context) -> RunOutcome:
+        from repro.cluster.fleet import FleetSimulator
+
+        config, tools, batches = context
+        result = FleetSimulator(config, tools).run(batches)
+        return RunOutcome(
+            simulated_seconds=result.end_time,
+            work_units=float(result.mapping_decisions),
+        )
+
+    return BenchScenario(
+        name="fleet-autoscale-day",
+        description="the headline diurnal day on an elastic pool: grows "
+                    "into the peak, drains through the night",
+        setup=setup,
+        run=run,
+        workload={"nodes": nodes, "min_nodes": min_nodes,
+                  "gpus_per_node": FLEET_GPUS_PER_NODE,
+                  "target_jobs": jobs, "seed": 42},
+        entry_points=(
+            "repro.cluster.fleet.FleetSimulator._on_eval",
+            "repro.cluster.fleet.FleetSimulator._place_range",
+        ),
+    )
+
+
 def _generate_scenario(jobs: int) -> BenchScenario:
     def setup():
         from repro.workloads.diurnal import DiurnalProfile
@@ -306,4 +407,15 @@ def fleet_core_suite(quick: bool = False) -> list[BenchScenario]:
             QUICK_SELECT_CALLS if quick else SELECT_CALLS,
         ),
         _generate_scenario(QUICK_GENERATE_JOBS if quick else GENERATE_JOBS),
+        *(
+            _policy_scenario(
+                policy, QUICK_POLICY_JOBS if quick else POLICY_JOBS
+            )
+            for policy in PLACEMENT_POLICIES
+        ),
+        _autoscale_scenario(
+            QUICK_AUTOSCALE_NODES if quick else AUTOSCALE_NODES,
+            QUICK_AUTOSCALE_MIN_NODES if quick else AUTOSCALE_MIN_NODES,
+            QUICK_AUTOSCALE_JOBS if quick else AUTOSCALE_JOBS,
+        ),
     ]

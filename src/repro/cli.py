@@ -619,6 +619,139 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_autoscale_config(args: argparse.Namespace):
+    from repro.cluster.autoscale import AutoscalerConfig
+
+    if not args.autoscale:
+        return None
+    return AutoscalerConfig(
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes if args.max_nodes is not None else args.nodes,
+        eval_interval_s=args.eval_interval,
+        provision_lag_s=args.provision_lag,
+        scale_up_step=args.scale_up_step,
+        scale_down_step=args.scale_down_step,
+        hysteresis_windows=args.hysteresis,
+        cooldown_s=args.cooldown,
+    )
+
+
+def _fleet_parity_errors(config, profile) -> list[str]:
+    """Run both fleet implementations; list every field that diverges."""
+    from repro.cluster.fleet import FleetSimulator
+    from repro.cluster.fleet_reference import ObjectFleetReference
+    from repro.workloads.diurnal import diurnal_batches
+
+    batches = diurnal_batches(profile)
+    result = FleetSimulator(config, profile.tools).run(batches)
+    reference = ObjectFleetReference(config, profile.tools)
+    store = reference.run(batches)
+    checks = [
+        ("store_digest", result.store_digest, store.digest()),
+        ("submitted", result.jobs_submitted, reference.counts["submitted"]),
+        ("completed", result.completed, reference.counts["completed"]),
+        ("shed", result.shed, reference.shed),
+        ("failed", result.failed, reference.counts["failed"]),
+        ("node_seconds", result.node_seconds, reference.meter.total),
+    ]
+    return [
+        f"{name}: columnar={ours!r} reference={theirs!r}"
+        for name, ours, theirs in checks
+        if ours != theirs
+    ]
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.cluster.fleet import FleetConfig, FleetSimulator
+    from repro.cluster.jobstore import gpu_wait_percentile
+    from repro.workloads.diurnal import (
+        AB_STORM_DURATION,
+        AB_STORM_START,
+        DiurnalProfile,
+        ab_storm_profile,
+        diurnal_batches,
+    )
+
+    storm_lo = AB_STORM_START
+    storm_hi = AB_STORM_START + AB_STORM_DURATION
+    try:
+        autoscale = _fleet_autoscale_config(args)
+        if args.ab or args.storm:
+            profile = ab_storm_profile(args.jobs, seed=args.seed)
+        else:
+            profile = DiurnalProfile(seed=args.seed).scaled_to(args.jobs)
+        batches = diurnal_batches(profile)
+        policies = list(args.ab_policies) if args.ab else [args.policy]
+        runs = []
+        for policy in policies:
+            config = FleetConfig(
+                nodes=args.nodes,
+                gpus_per_node=args.gpus_per_node,
+                queue_limit=args.queue_limit,
+                placement=policy,
+                autoscale=autoscale,
+            )
+            if args.check_parity:
+                errors = _fleet_parity_errors(config, profile)
+                if errors:
+                    for error in errors:
+                        print(f"fleet: parity mismatch [{policy}] {error}",
+                              file=sys.stderr)
+                    return 1
+            simulator = FleetSimulator(config, profile.tools)
+            result = simulator.run(batches)
+            p95 = gpu_wait_percentile(
+                simulator.store, 0.95, storm_lo, storm_hi
+            )
+            runs.append((policy, result, p95))
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        if args.ab:
+            payload = {
+                "schema": "gyan.fleet-ab/v1",
+                "jobs": args.jobs,
+                "seed": args.seed,
+                "storm": [storm_lo, storm_hi],
+                "runs": {
+                    policy: {
+                        **json_module.loads(result.to_json()),
+                        "storm_gpu_wait_p95": round(p95, 6),
+                    }
+                    for policy, result, p95 in runs
+                },
+            }
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(runs[0][1].to_json(), end="")
+        return 0
+
+    for policy, result, p95 in runs:
+        shed_total = sum(result.shed.values())
+        print(f"policy {policy}: {result.jobs_submitted} jobs on "
+              f"{result.nodes}x{result.gpus_per_node} "
+              f"(peak {result.peak_nodes} nodes)")
+        print(f"  completed:     {result.completed}")
+        print(f"  degraded:      {result.degraded}")
+        print(f"  shed:          {shed_total}")
+        print(f"  failed:        {result.failed}")
+        print(f"  node-seconds:  {result.node_seconds:.0f}")
+        print(f"  storm p95 GPU wait: {p95:.1f}s")
+        if result.scale_ups or result.scale_downs:
+            print(f"  scale events:  {result.scale_ups} up / "
+                  f"{result.scale_downs} down "
+                  f"({result.provisioned_nodes} provisioned, "
+                  f"{result.decommissioned_nodes} decommissioned)")
+        print(f"  digest:        {result.store_digest[:16]}…")
+    if args.check_parity:
+        print("parity: columnar and reference runs are bit-identical")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -835,6 +968,72 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list scenario names and exit")
     bench.set_defaults(func=cmd_bench)
+
+    from repro.cluster.autoscale import PLACEMENT_POLICIES, PLACEMENT_SPREAD
+    from repro.cluster.fleet import (
+        AB_FLEET_GPUS_PER_NODE,
+        AB_FLEET_JOBS,
+        AB_FLEET_NODES,
+        AB_FLEET_QUEUE_LIMIT,
+        AB_FLEET_SEED,
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the fleet-scale simulator (placement + autoscaling)",
+    )
+    fleet.add_argument("--nodes", type=int, default=AB_FLEET_NODES,
+                       help="fleet chassis count (default: %(default)s)")
+    fleet.add_argument("--gpus-per-node", type=int,
+                       default=AB_FLEET_GPUS_PER_NODE,
+                       help="GPUs per node (default: %(default)s)")
+    fleet.add_argument("--queue-limit", type=int,
+                       default=AB_FLEET_QUEUE_LIMIT,
+                       help="bounded per-node queue depth "
+                            "(default: %(default)s)")
+    fleet.add_argument("--jobs", type=int, default=AB_FLEET_JOBS,
+                       help="target jobs over the day (default: %(default)s)")
+    fleet.add_argument("--seed", type=int, default=AB_FLEET_SEED,
+                       help="diurnal workload seed (default: %(default)s)")
+    fleet.add_argument("--policy", choices=PLACEMENT_POLICIES,
+                       default=PLACEMENT_SPREAD,
+                       help="placement policy (default: %(default)s)")
+    fleet.add_argument("--storm", action="store_true",
+                       help="ride the canonical midday A/B burst storm")
+    fleet.add_argument("--ab", action="store_true",
+                       help="run every placement policy on the canonical "
+                            "storm fixture and emit a comparison")
+    fleet.add_argument("--check-parity", action="store_true",
+                       help="also run the per-job-object reference model "
+                            "and fail unless bit-identical")
+    fleet.add_argument("--autoscale", action="store_true",
+                       help="enable the elastic node pool")
+    fleet.add_argument("--min-nodes", type=int, default=10,
+                       help="autoscale: always-on base pool size "
+                            "(default: %(default)s)")
+    fleet.add_argument("--max-nodes", type=int, default=None,
+                       help="autoscale: elastic ceiling "
+                            "(default: --nodes)")
+    fleet.add_argument("--eval-interval", type=float, default=300.0,
+                       help="autoscale: seconds between evaluations "
+                            "(default: %(default)s)")
+    fleet.add_argument("--provision-lag", type=float, default=900.0,
+                       help="autoscale: delay before ordered nodes arrive "
+                            "warm (default: %(default)s)")
+    fleet.add_argument("--scale-up-step", type=int, default=8,
+                       help="autoscale: max nodes ordered per evaluation "
+                            "(default: %(default)s)")
+    fleet.add_argument("--scale-down-step", type=int, default=4,
+                       help="autoscale: max nodes drained per evaluation "
+                            "(default: %(default)s)")
+    fleet.add_argument("--hysteresis", type=int, default=2,
+                       help="autoscale: consecutive windows before acting "
+                            "(default: %(default)s)")
+    fleet.add_argument("--cooldown", type=float, default=600.0,
+                       help="autoscale: seconds between scale actions "
+                            "(default: %(default)s)")
+    fleet.add_argument("--format", choices=("text", "json"), default="text")
+    fleet.set_defaults(func=cmd_fleet, ab_policies=PLACEMENT_POLICIES)
 
     race = sub.add_parser(
         "race",

@@ -16,15 +16,36 @@ per-*group* cost:
   :meth:`~repro.core.mapper.GpuComputationMapper.prepare_environment_batch`
   at single-host scale.
 * **Sharded node state with indexed selection** — per-node shards hold
-  free GPU slots and the bounded queue; selection pops the
-  lowest-indexed node with free slots (the paper's first-available rule)
-  from a lazy heap in O(log n) instead of scanning 1000 nodes per job.
-  Completions are per-node shards merged through one global head heap.
+  free GPU slots and the bounded queue; selection pops the policy's
+  best node from a lazy heap in O(log n) instead of scanning 1000
+  nodes per job.  Completions are per-node shards merged through one
+  global head heap.
 * **Aggregate observability** — counters increment per group and
   latencies land via
   :meth:`~repro.observability.metrics.HistogramChild.observe_many`;
   there are no per-job spans on this path (at 1M jobs the spans *are*
   the workload).
+
+Placement policies (:data:`~repro.cluster.autoscale.PLACEMENT_POLICIES`):
+
+* ``spread`` — the lowest-indexed node with a free slot (the paper's
+  first-available rule, PR-9 behaviour).
+* ``pack`` — the node with the *fewest* free slots (ties to the lowest
+  index), bin-packing work so idle nodes stay fully drainable for
+  scale-in; queueing likewise prefers the fullest queue with room.
+* ``benefit-aware`` — the paper's GPU-benefit classes decide who may
+  claim scarce slots: low-benefit degradable classes only use capacity
+  above a configured reserve and degrade to the CPU arm instead of
+  queueing, leaving reserved slots (and the queues) to high-benefit
+  tools like basecallers.
+
+Elasticity (:class:`~repro.cluster.autoscale.AutoscalerConfig`): node
+indices below ``min_nodes`` are the always-on base pool; the elastic
+pool grows against windowed queue-depth/shed signals (nodes arrive
+warm only after the provisioning lag) and shrinks by *draining* — a
+victim stops accepting work, its queue resubmits through the PR-7
+failure hop path, and it decommissions (and stops costing
+node-seconds) when its last running group finishes.
 
 Resilience semantics from PR 7 are preserved on the columnar path and
 checked for parity against :mod:`repro.cluster.fleet_reference`:
@@ -35,7 +56,10 @@ jobs with a hop cap, and recovery re-admits the node.
 
 Determinism: given the same config and arrival batches the run is
 bit-identical — the property the ``fleet_core`` double-run byte-diff in
-CI pins.
+CI pins.  That now includes the autoscaler: evaluations and
+provisioning ride the same (time, seq) event heap as completions, and
+node-second accounting charges at identical instants in both
+implementations.
 """
 
 from __future__ import annotations
@@ -45,9 +69,20 @@ import itertools
 import json
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.cluster.autoscale import (
+    PLACEMENT_BENEFIT,
+    PLACEMENT_PACK,
+    PLACEMENT_POLICIES,
+    PLACEMENT_SPREAD,
+    AutoscaleController,
+    AutoscalerConfig,
+    NodeSecondsMeter,
+    pool_of,
+    reserve_slots,
+)
 from repro.cluster.jobstore import NO_NODE, FleetJobState, JobStore
 from repro.hotpath import hot_path
 from repro.observability.metrics import MetricsRegistry
@@ -63,6 +98,8 @@ _EV_GPU_DONE = 0
 _EV_CPU_DONE = 1
 _EV_FAIL = 2
 _EV_RECOVER = 3
+_EV_EVAL = 4
+_EV_PROVISION = 5
 
 
 @dataclass(frozen=True)
@@ -76,7 +113,7 @@ class NodeFailure:
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Shape and resilience knobs of the simulated fleet."""
+    """Shape, placement, elasticity and resilience knobs of the fleet."""
 
     nodes: int = 1000
     gpus_per_node: int = 8
@@ -91,6 +128,14 @@ class FleetConfig:
     #: Whether degradable GPU classes fall to the CPU arm on overflow.
     degrade_to_cpu: bool = True
     failures: tuple[NodeFailure, ...] = ()
+    #: Placement policy (see module docstring).
+    placement: str = PLACEMENT_SPREAD
+    #: benefit-aware: tools below this GPU-benefit ratio are low-benefit.
+    benefit_threshold: float = 12.0
+    #: benefit-aware: fraction of usable slots reserved for high-benefit.
+    gpu_reserve_fraction: float = 0.10
+    #: Elastic pool configuration (None = static fleet, PR-9 behaviour).
+    autoscale: AutoscalerConfig | None = None
 
     @property
     def slots_per_node(self) -> int:
@@ -101,6 +146,20 @@ class FleetConfig:
             raise ValueError("fleet needs at least one node")
         if self.slots_per_node < 1:
             raise ValueError("fleet nodes need at least one GPU slot")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )
+        if self.benefit_threshold <= 0:
+            raise ValueError("benefit_threshold must be positive")
+        if not 0.0 <= self.gpu_reserve_fraction < 1.0:
+            raise ValueError("gpu_reserve_fraction must be in [0, 1)")
+        if self.autoscale is not None and self.autoscale.max_nodes > self.nodes:
+            raise ValueError(
+                f"autoscale max_nodes {self.autoscale.max_nodes} exceeds "
+                f"fleet nodes {self.nodes}"
+            )
         for failure in self.failures:
             if not 0 <= failure.node < self.nodes:
                 raise ValueError(
@@ -133,6 +192,19 @@ class FleetResult:
     states: dict[str, int]
     end_time: float
     store_digest: str
+    placement: str = PLACEMENT_SPREAD
+    pool_base_nodes: int = 0
+    pool_max_nodes: int = 0
+    peak_nodes: int = 0
+    node_seconds: float = 0.0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    provisioned_nodes: int = 0
+    decommissioned_nodes: int = 0
+    #: (instant, commissioned, pending) samples, one per evaluation.
+    pool_timeline: tuple[tuple[float, int, int], ...] = field(
+        default_factory=tuple
+    )
 
     def to_json(self) -> str:
         data = {
@@ -153,6 +225,19 @@ class FleetResult:
             "states": dict(sorted(self.states.items())),
             "end_time": round(self.end_time, 6),
             "store_digest": self.store_digest,
+            "placement": self.placement,
+            "pool_base_nodes": self.pool_base_nodes,
+            "pool_max_nodes": self.pool_max_nodes,
+            "peak_nodes": self.peak_nodes,
+            "node_seconds": round(self.node_seconds, 6),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "provisioned_nodes": self.provisioned_nodes,
+            "decommissioned_nodes": self.decommissioned_nodes,
+            "pool_timeline": [
+                [round(t, 6), active, pending]
+                for t, active, pending in self.pool_timeline
+            ],
         }
         return json.dumps(data, indent=2, sort_keys=True) + "\n"
 
@@ -177,8 +262,18 @@ class FleetSimulator:
         self.store = JobStore()
         n = config.nodes
         cap = config.slots_per_node
+        auto = config.autoscale
+        self._cap = cap
+        self._pack = config.placement == PLACEMENT_PACK
+        self._benefit = config.placement == PLACEMENT_BENEFIT
+        #: Pool boundary: node < _base is the always-on base pool.
+        self._base = auto.min_nodes if auto is not None else n
+        start_nodes = auto.start_nodes if auto is not None else n
         # -- per-node shards -------------------------------------------- #
-        self._free = [cap] * n
+        self._active = [i < start_nodes for i in range(n)]
+        self._draining = [False] * n
+        self._epoch = [1 if i < start_nodes else 0 for i in range(n)]
+        self._free = [cap if i < start_nodes else 0 for i in range(n)]
         self._depth = [0] * n
         self._queues: list[deque[tuple[int, int, int]]] = [
             deque() for _ in range(n)
@@ -187,11 +282,49 @@ class FleetSimulator:
         #: seq → (node, lo, hi, tool) for every in-flight GPU group.
         self._running: dict[int, tuple[int, int, int, int]] = {}
         self._node_groups: list[set[int]] = [set() for _ in range(n)]
-        # -- indexed node selection (lazy heaps + membership flags) ----- #
-        self._slot_heap = list(range(n))
-        self._in_slot_heap = [True] * n
-        self._queue_heap = list(range(n))
-        self._in_queue_heap = [True] * n
+        # -- aggregate fleet state (the autoscaler's signal inputs) ----- #
+        self._active_count = start_nodes
+        self._draining_count = 0
+        self._usable_count = start_nodes
+        self._free_total = start_nodes * cap
+        self._busy = 0
+        self._queued_now = 0
+        self._pending_nodes = 0
+        self._submitted_n = 0
+        self._completed_n = 0
+        self._shed_n = 0
+        self._failed_n = 0
+        self._shed_at_eval = 0
+        self._input_done = False
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._provisioned_nodes = 0
+        self._decommissioned_nodes = 0
+        self._peak_nodes = start_nodes
+        self._meter = NodeSecondsMeter(start_nodes)
+        self._pool_timeline: list[tuple[float, int, int]] = [
+            (0.0, start_nodes, 0)
+        ]
+        self._controller = (
+            AutoscaleController(auto) if auto is not None else None
+        )
+        # -- indexed node selection (lazy heaps) ------------------------ #
+        # spread/benefit key entries by node index with membership flags;
+        # pack keys them by (free, node) / (room, node) and invalidates
+        # by value mismatch, so every count change pushes a fresh entry.
+        if self._pack:
+            self._slot_heap: list = [(cap, i) for i in range(start_nodes)]
+            self._queue_heap: list = (
+                [(config.queue_limit, i) for i in range(start_nodes)]
+                if config.queue_limit > 0 else []
+            )
+            self._in_slot_heap = [False] * n
+            self._in_queue_heap = [False] * n
+        else:
+            self._slot_heap = list(range(start_nodes))
+            self._in_slot_heap = [i < start_nodes for i in range(n)]
+            self._queue_heap = list(range(start_nodes))
+            self._in_queue_heap = [i < start_nodes for i in range(n)]
         # -- global head heap over the per-node event shards ------------ #
         self._events: list[tuple[float, int, int, int, int, int, float]] = []
         self._seq = itertools.count()
@@ -201,6 +334,12 @@ class FleetSimulator:
                 self._events,
                 (failure.time, next(self._seq), _EV_FAIL, failure.node,
                  0, 0, failure.recovery_seconds),
+            )
+        if auto is not None:
+            heapq.heappush(
+                self._events,
+                (auto.eval_interval_s, next(self._seq), _EV_EVAL,
+                 0, 0, 0, 0.0),
             )
         # -- aggregate observability ------------------------------------ #
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -248,16 +387,62 @@ class FleetSimulator:
             buckets=(60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0,
                      float("inf")),
         )
+        # Elasticity metrics exist only on elastic fleets: the fleet
+        # metric surface stays aggregate-only and static runs keep
+        # their PR-9 family count.
+        if auto is not None:
+            self._g_pool = self.metrics.gauge(
+                "gyan_fleet_pool_nodes",
+                "Commissioned/pending node counts per pool",
+                labels=("pool",),
+            )
+            self._c_scale_events = self.metrics.counter(
+                "gyan_fleet_scale_events_total",
+                "Autoscaler actions by direction",
+                labels=("direction",),
+            )
+            self._c_pool_events = self.metrics.counter(
+                "gyan_fleet_pool_node_events_total",
+                "Node lifecycle events in the elastic pool",
+                labels=("event",),
+            )
+            self._c_node_seconds = self.metrics.counter(
+                "gyan_fleet_node_seconds_total",
+                "Node-seconds of commissioned capacity (cost proxy)",
+            )
+            self._set_pool_gauges()
 
     # ------------------------------------------------------------------ #
     # indexed node selection
     # ------------------------------------------------------------------ #
+    def _usable(self, node: int) -> bool:
+        """May this node accept new placements or queue entries?"""
+        return (
+            self._active[node]
+            and not self._draining[node]
+            and not self._quarantined[node]
+        )
+
     def _peek_free_node(self) -> int | None:
-        """Lowest-indexed healthy node with a free GPU slot, O(log n)."""
+        """The policy's best node with a free GPU slot, O(log n).
+
+        spread/benefit-aware: lowest index; pack: fewest free slots
+        (ties to the lowest index).  Stale entries — quarantined,
+        drained, decommissioned, exhausted, or (pack) out-of-date
+        counts — pop-discard lazily.
+        """
         heap = self._slot_heap
+        if self._pack:
+            while heap:
+                free, node = heap[0]
+                if not self._usable(node) or self._free[node] != free:
+                    heapq.heappop(heap)
+                    continue
+                return node
+            return None
         while heap:
             node = heap[0]
-            if self._quarantined[node] or self._free[node] <= 0:
+            if not self._usable(node) or self._free[node] <= 0:
                 heapq.heappop(heap)
                 self._in_slot_heap[node] = False
                 continue
@@ -265,21 +450,40 @@ class FleetSimulator:
         return None
 
     def _peek_queue_node(self) -> int | None:
-        """Lowest-indexed healthy node with queue room, O(log n)."""
+        """The policy's best node with queue room, O(log n)."""
         heap = self._queue_heap
         limit = self.config.queue_limit
+        if self._pack:
+            while heap:
+                room, node = heap[0]
+                if (
+                    not self._usable(node)
+                    or limit - self._depth[node] != room
+                ):
+                    heapq.heappop(heap)
+                    continue
+                return node
+            return None
         while heap:
             node = heap[0]
-            if self._quarantined[node] or self._depth[node] >= limit:
+            if not self._usable(node) or self._depth[node] >= limit:
                 heapq.heappop(heap)
                 self._in_queue_heap[node] = False
                 continue
             return node
         return None
 
-    def _readmit_node(self, node: int) -> None:
-        """Re-enter the selection heaps after slots/room reappeared."""
-        if self._quarantined[node]:
+    def _touch_node(self, node: int) -> None:
+        """Refresh the selection heaps after this node's counts changed."""
+        if not self._usable(node):
+            return
+        if self._pack:
+            free = self._free[node]
+            if free > 0:
+                heapq.heappush(self._slot_heap, (free, node))
+            room = self.config.queue_limit - self._depth[node]
+            if room > 0:
+                heapq.heappush(self._queue_heap, (room, node))
             return
         if self._free[node] > 0 and not self._in_slot_heap[node]:
             heapq.heappush(self._slot_heap, node)
@@ -298,8 +502,13 @@ class FleetSimulator:
         self, lo: int, hi: int, node: int, tool_index: int, now: float
     ) -> None:
         count = hi - lo
-        self.store.start_range(lo, hi, node, now, gpu=True)
+        self.store.start_range(
+            lo, hi, node, now, gpu=True,
+            pool=pool_of(node, self._base), epoch=self._epoch[node],
+        )
         self._free[node] -= count
+        self._free_total -= count
+        self._busy += count
         seq = next(self._seq)
         self._running[seq] = (node, lo, hi, tool_index)
         self._node_groups[node].add(seq)
@@ -324,6 +533,13 @@ class FleetSimulator:
         if degraded:
             self._c_degraded.inc(count)
 
+    def _shed_group(
+        self, lo: int, hi: int, reason: ShedReason, now: float
+    ) -> None:
+        self.store.shed_range(lo, hi, reason, now)
+        self._shed_n += hi - lo
+        self._c_shed.labels(reason=reason.value).inc(hi - lo)
+
     # ------------------------------------------------------------------ #
     # batched mapping (vectorised Pseudocode 2 over the columnar batch)
     # ------------------------------------------------------------------ #
@@ -336,12 +552,19 @@ class FleetSimulator:
         The eligibility decision (Pseudocode 2: does the tool want a GPU
         and does the fleet have one?) happens once for the whole range;
         placement peels contiguous sub-ranges off the front, filling the
-        lowest-indexed node with free slots to capacity before moving on
-        — identical, job for job, to the per-job-object reference model.
+        policy's best node to capacity before moving on — identical,
+        job for job, to the per-job-object reference model.
         """
         tool = self.tools[tool_index]
         if not tool.gpu_eligible:
             self._start_cpu(lo, hi, tool_index, now, degraded=False)
+            return
+        if (
+            self._benefit
+            and tool.degradable
+            and tool.gpu_benefit < self.config.benefit_threshold
+        ):
+            self._place_low_benefit(lo, hi, tool_index, now)
             return
         cursor = lo
         while cursor < hi:
@@ -350,6 +573,8 @@ class FleetSimulator:
                 break
             take = min(hi - cursor, self._free[node])
             self._start_gpu(cursor, cursor + take, node, tool_index, now)
+            if self._pack:
+                self._touch_node(node)
             cursor += take
         limit = self.config.queue_limit
         while cursor < hi:
@@ -357,19 +582,50 @@ class FleetSimulator:
             if node is None:
                 break
             take = min(hi - cursor, limit - self._depth[node])
-            self.store.queue_range(cursor, cursor + take, node)
+            self.store.queue_range(
+                cursor, cursor + take, node, pool=pool_of(node, self._base)
+            )
             self._queues[node].append((cursor, cursor + take, tool_index))
             self._depth[node] += take
+            self._queued_now += take
             self._c_queued.inc(take)
+            if self._pack:
+                self._touch_node(node)
             cursor += take
         if cursor < hi:
             if self.config.degrade_to_cpu and tool.degradable:
                 self._start_cpu(cursor, hi, tool_index, now, degraded=True)
             else:
-                self.store.shed_range(cursor, hi, ShedReason.QUEUE_FULL, now)
-                self._c_shed.labels(
-                    reason=ShedReason.QUEUE_FULL.value
-                ).inc(hi - cursor)
+                self._shed_group(cursor, hi, ShedReason.QUEUE_FULL, now)
+
+    def _place_low_benefit(
+        self, lo: int, hi: int, tool_index: int, now: float
+    ) -> None:
+        """benefit-aware placement for a low-benefit degradable class.
+
+        The class may only consume free slots *above* the reserve —
+        ``free_total - reserve`` across the whole fleet — and never
+        queues: the remainder degrades to the CPU arm immediately,
+        leaving reserved slots and all queue room to high-benefit
+        tools.  Equivalent, job for job, to admitting each job iff the
+        fleet-wide free count still exceeds the reserve.
+        """
+        reserve = reserve_slots(
+            self.config.gpu_reserve_fraction, self._usable_count, self._cap
+        )
+        avail = self._free_total - reserve
+        take_total = min(hi - lo, avail) if avail > 0 else 0
+        cursor = lo
+        end = lo + take_total
+        while cursor < end:
+            node = self._peek_free_node()
+            if node is None:
+                break
+            take = min(end - cursor, self._free[node])
+            self._start_gpu(cursor, cursor + take, node, tool_index, now)
+            cursor += take
+        if cursor < hi:
+            self._start_cpu(cursor, hi, tool_index, now, degraded=True)
 
     # ------------------------------------------------------------------ #
     # event handlers
@@ -377,6 +633,7 @@ class FleetSimulator:
     def _complete_range(self, lo: int, hi: int, now: float) -> None:
         count = hi - lo
         self.store.complete_range(lo, hi, now)
+        self._completed_n += count
         self._c_completed.inc(count)
         self._h_latency.observe_many(now - self.store.submit[lo], count)
 
@@ -390,10 +647,8 @@ class FleetSimulator:
             if now > store.deadline[glo]:
                 queue.popleft()
                 self._depth[node] -= ghi - glo
-                store.shed_range(glo, ghi, ShedReason.DEADLINE_EXPIRED, now)
-                self._c_shed.labels(
-                    reason=ShedReason.DEADLINE_EXPIRED.value
-                ).inc(ghi - glo)
+                self._queued_now -= ghi - glo
+                self._shed_group(glo, ghi, ShedReason.DEADLINE_EXPIRED, now)
                 continue
             take = min(self._free[node], ghi - glo)
             if take == ghi - glo:
@@ -401,8 +656,9 @@ class FleetSimulator:
             else:
                 queue[0] = (glo + take, ghi, gtool)
             self._depth[node] -= take
+            self._queued_now -= take
             self._start_gpu(glo, glo + take, node, gtool, now)
-        self._readmit_node(node)
+        self._touch_node(node)
 
     def _on_gpu_done(
         self, now: float, seq: int, node: int, lo: int, hi: int
@@ -412,14 +668,21 @@ class FleetSimulator:
         del self._running[seq]
         self._node_groups[node].discard(seq)
         self._complete_range(lo, hi, now)
-        self._free[node] += hi - lo
-        self._readmit_node(node)
-        self._drain_queue(node, now)
+        count = hi - lo
+        self._free[node] += count
+        self._busy -= count
+        if self._usable(node):
+            self._free_total += count
+            self._touch_node(node)
+            self._drain_queue(node, now)
+        elif self._draining[node] and not self._node_groups[node]:
+            self._decommission(node, now)
 
     def _resubmit(self, lo: int, hi: int, tool_index: int, now: float) -> None:
         count = hi - lo
         if self.store.hops[lo] + 1 > self.config.max_hops:
             self.store.fail_range(lo, hi, now)
+            self._failed_n += count
             self._c_failed.inc(count)
             return
         self.store.resubmit_range(lo, hi)
@@ -427,8 +690,15 @@ class FleetSimulator:
         self._place_range(lo, hi, tool_index, now)
 
     def _on_fail(self, now: float, node: int, recovery_seconds: float) -> None:
+        if not self._active[node]:
+            return  # outage aimed at a node that isn't commissioned
+        was_usable = self._usable(node)
+        was_draining = self._draining[node]
         self._quarantined[node] = True
         self._c_quarantines.inc()
+        if was_usable:
+            self._usable_count -= 1
+            self._free_total -= self._free[node]
         # Interrupt running groups in ascending row order (== ascending
         # job-id order, the reference model's iteration order).
         groups = sorted(
@@ -438,14 +708,21 @@ class FleetSimulator:
             del self._running[seq]
         self._node_groups[node].clear()
         self._free[node] = 0
+        self._busy -= sum(ghi - glo for _n, glo, ghi, _t in groups)
         for _node, lo, hi, tool_index in groups:
             self._resubmit(lo, hi, tool_index, now)
         # Queued groups resubmit in FIFO order after the running ones.
         queued = list(self._queues[node])
         self._queues[node].clear()
+        self._queued_now -= self._depth[node]
         self._depth[node] = 0
         for lo, hi, tool_index in queued:
             self._resubmit(lo, hi, tool_index, now)
+        if was_draining:
+            # A draining node that dies never comes back: its work has
+            # already been resubmitted, so it decommissions right here.
+            self._decommission(node, now)
+            return
         heapq.heappush(
             self._events,
             (now + recovery_seconds, next(self._seq), _EV_RECOVER, node,
@@ -453,10 +730,149 @@ class FleetSimulator:
         )
 
     def _on_recover(self, node: int) -> None:
+        if not self._quarantined[node]:
+            return  # stale recovery (overlapping outage windows)
         self._quarantined[node] = False
-        self._free[node] = self.config.slots_per_node
-        self._readmit_node(node)
+        self._free[node] = self._cap
+        self._usable_count += 1
+        self._free_total += self._cap
+        self._touch_node(node)
 
+    # ------------------------------------------------------------------ #
+    # elasticity
+    # ------------------------------------------------------------------ #
+    def _decommission(self, node: int, now: float) -> None:
+        """Retire a drained node: it stops costing from this instant."""
+        self._active[node] = False
+        self._draining[node] = False
+        self._quarantined[node] = False
+        self._draining_count -= 1
+        self._free[node] = 0
+        self._active_count -= 1
+        self._decommissioned_nodes += 1
+        self._meter.set_active(now, self._active_count)
+        if self.config.autoscale is not None:
+            self._c_pool_events.labels(event="decommissioned").inc()
+
+    def _apply_scale_up(self, delta: int, now: float) -> None:
+        self._pending_nodes += delta
+        self._scale_ups += 1
+        heapq.heappush(
+            self._events,
+            (now + self.config.autoscale.provision_lag_s, next(self._seq),
+             _EV_PROVISION, 0, delta, 0, 0.0),
+        )
+        self._c_scale_events.labels(direction="up").inc()
+
+    def _apply_scale_down(
+        self, count: int, candidates: list[int], now: float
+    ) -> None:
+        """Drain the most drainable elastic nodes (least load, then
+        highest index so the pool retracts from the top)."""
+        cap = self._cap
+        victims = sorted(
+            candidates,
+            key=lambda v: (cap - self._free[v] + self._depth[v], -v),
+        )[:count]
+        self._scale_downs += 1
+        self._c_scale_events.labels(direction="down").inc()
+        for node in victims:
+            self._draining[node] = True
+            self._draining_count += 1
+            self._usable_count -= 1
+            self._free_total -= self._free[node]
+        for node in victims:
+            # Scale-in reuses the failure resubmit path for queued work:
+            # one more hop, FIFO, fail past the hop budget.
+            queued = list(self._queues[node])
+            self._queues[node].clear()
+            self._queued_now -= self._depth[node]
+            self._depth[node] = 0
+            for lo, hi, tool_index in queued:
+                self._resubmit(lo, hi, tool_index, now)
+            if not self._node_groups[node]:
+                self._decommission(node, now)
+
+    def _on_provision(self, now: float, count: int) -> None:
+        """Commission ordered nodes, lag later, lowest free index first.
+
+        If drains have not yet released enough chassis slots the
+        surplus of the order is cancelled on arrival; the controller
+        re-orders at a later evaluation if the pressure persists.
+        """
+        created = 0
+        for node in range(self._base, self.config.nodes):
+            if created == count:
+                break
+            if self._active[node]:
+                continue
+            self._active[node] = True
+            self._epoch[node] += 1
+            self._free[node] = self._cap
+            self._active_count += 1
+            self._usable_count += 1
+            self._free_total += self._cap
+            self._touch_node(node)
+            created += 1
+        self._pending_nodes -= count
+        self._provisioned_nodes += created
+        self._meter.set_active(now, self._active_count)
+        if self._active_count > self._peak_nodes:
+            self._peak_nodes = self._active_count
+        if self.config.autoscale is not None and created:
+            self._c_pool_events.labels(event="provisioned").inc(created)
+
+    def _on_eval(self, now: float) -> None:
+        auto = self.config.autoscale
+        shed_delta = self._shed_n - self._shed_at_eval
+        self._shed_at_eval = self._shed_n
+        candidates = [
+            i for i in range(self._base, self.config.nodes)
+            if self._active[i]
+            and not self._draining[i]
+            and not self._quarantined[i]
+        ]
+        provisioned = (
+            self._active_count - self._draining_count + self._pending_nodes
+        )
+        delta = self._controller.evaluate(
+            now,
+            queued_jobs=self._queued_now,
+            shed_delta=shed_delta,
+            busy_slots=self._busy,
+            usable_slots=self._usable_count * self._cap,
+            usable_nodes=self._usable_count,
+            provisioned=provisioned,
+            removable=len(candidates),
+        )
+        if delta > 0:
+            self._apply_scale_up(delta, now)
+        elif delta < 0:
+            self._apply_scale_down(-delta, candidates, now)
+        self._pool_timeline.append(
+            (now, self._active_count, self._pending_nodes)
+        )
+        self._set_pool_gauges()
+        inflight = (
+            self._submitted_n - self._completed_n
+            - self._shed_n - self._failed_n
+        )
+        if not self._input_done or inflight > 0 or self._pending_nodes > 0:
+            heapq.heappush(
+                self._events,
+                (now + auto.eval_interval_s, next(self._seq), _EV_EVAL,
+                 0, 0, 0, 0.0),
+            )
+
+    def _set_pool_gauges(self) -> None:
+        base_active = min(self._base, self._active_count)
+        self._g_pool.labels(pool="base").set(base_active)
+        self._g_pool.labels(pool="elastic").set(
+            self._active_count - base_active
+        )
+        self._g_pool.labels(pool="pending").set(self._pending_nodes)
+
+    # ------------------------------------------------------------------ #
     def _drain_until(self, when: float) -> None:
         events = self._events
         while events and events[0][0] <= when:
@@ -468,8 +884,12 @@ class FleetSimulator:
                 self._complete_range(lo, hi, time)
             elif kind == _EV_FAIL:
                 self._on_fail(time, node, float(extra))
-            else:
+            elif kind == _EV_RECOVER:
                 self._on_recover(node)
+            elif kind == _EV_EVAL:
+                self._on_eval(time)
+            else:
+                self._on_provision(time, lo)
 
     # ------------------------------------------------------------------ #
     @hot_path
@@ -486,9 +906,12 @@ class FleetSimulator:
                 batch.count, batch.tool, batch.time,
                 batch.time + config.deadline_seconds,
             )
+            self._submitted_n += batch.count
             self._c_submitted.inc(batch.count)
             self._place_range(lo, hi, batch.tool, batch.time)
+        self._input_done = True
         self._drain_until(math.inf)
+        self._meter.advance(self._now)
         return self._result()
 
     def _result(self) -> FleetResult:
@@ -514,6 +937,10 @@ class FleetSimulator:
             )
         mapped_gpu = int(value("gyan_fleet_mapping_decisions_total", arm="gpu"))
         mapped_cpu = int(value("gyan_fleet_mapping_decisions_total", arm="cpu"))
+        auto = self.config.autoscale
+        if auto is not None:
+            self._c_node_seconds.inc(self._meter.total)
+            self._set_pool_gauges()
         return FleetResult(
             nodes=self.config.nodes,
             gpus_per_node=self.config.gpus_per_node,
@@ -531,6 +958,18 @@ class FleetSimulator:
             states=self.store.count_by_state(),
             end_time=self._now,
             store_digest=self.store.digest(),
+            placement=self.config.placement,
+            pool_base_nodes=self._base,
+            pool_max_nodes=(
+                auto.max_nodes if auto is not None else self.config.nodes
+            ),
+            peak_nodes=self._peak_nodes,
+            node_seconds=self._meter.total,
+            scale_ups=self._scale_ups,
+            scale_downs=self._scale_downs,
+            provisioned_nodes=self._provisioned_nodes,
+            decommissioned_nodes=self._decommissioned_nodes,
+            pool_timeline=tuple(self._pool_timeline),
         )
 
 
@@ -542,3 +981,31 @@ def run_fleet(
     """Generate the diurnal workload and run it through the fleet."""
     simulator = FleetSimulator(config, profile.tools, metrics=metrics)
     return simulator.run(diurnal_batches(profile))
+
+
+#: The canonical A/B fleet shape: paired with
+#: :func:`~repro.workloads.diurnal.ab_storm_profile`, this sizes GPU
+#: demand so the midday storm moderately exceeds capacity with the
+#: low-benefit class as the marginal load — the regime where placement
+#: policies actually diverge.  The CLI's ``repro fleet --ab``, the
+#: ``fleet_core`` policy scenarios, the differential policy tests and
+#: CI's A/B matrix all run exactly this shape so their numbers agree.
+AB_FLEET_NODES = 40
+AB_FLEET_GPUS_PER_NODE = 8
+AB_FLEET_QUEUE_LIMIT = 16
+AB_FLEET_JOBS = 40_000
+AB_FLEET_SEED = 7
+
+
+def ab_fleet_config(
+    placement: str = PLACEMENT_SPREAD,
+    autoscale: AutoscalerConfig | None = None,
+) -> FleetConfig:
+    """The canonical A/B :class:`FleetConfig` for one placement policy."""
+    return FleetConfig(
+        nodes=AB_FLEET_NODES,
+        gpus_per_node=AB_FLEET_GPUS_PER_NODE,
+        queue_limit=AB_FLEET_QUEUE_LIMIT,
+        placement=placement,
+        autoscale=autoscale,
+    )

@@ -24,6 +24,7 @@ which is what lets the property tests assert *bit-identical* state:
 from __future__ import annotations
 
 import hashlib
+import math
 from array import array
 from collections import Counter
 from dataclasses import dataclass
@@ -37,6 +38,8 @@ from repro.resilience.shedding import ShedReason
 NO_NODE = -1
 NO_INSTANT = -1.0
 NO_REASON = -1
+#: Sentinel for "no node pool" (CPU arm / never placed).
+NO_POOL = -1
 
 #: Stable ShedReason → int column encoding (enum definition order).
 SHED_REASON_CODE: dict[ShedReason, int] = {
@@ -80,6 +83,8 @@ class JobRow:
     start: float
     finish: float
     gpu: bool
+    pool: int
+    epoch: int
 
 
 def _q_fill(value: int, count: int) -> array:
@@ -110,18 +115,20 @@ class JobStore:
     start      'd'   last execution start (:data:`NO_INSTANT` = never)
     finish     'd'   terminal instant (:data:`NO_INSTANT` = not yet)
     gpu        'q'   1 when the last mapping landed on a GPU slot
+    pool       'q'   node pool of the last placement (:data:`NO_POOL`)
+    epoch      'q'   commission epoch of the destination node (0 = n/a)
     ========== ===== =================================================
     """
 
     __slots__ = (
         "state", "tool", "submit", "deadline", "dest",
-        "hops", "shed", "start", "finish", "gpu",
+        "hops", "shed", "start", "finish", "gpu", "pool", "epoch",
     )
 
     #: Column names in digest order (also the ``rows()`` field order).
     COLUMNS = (
         "state", "tool", "submit", "deadline", "dest",
-        "hops", "shed", "start", "finish", "gpu",
+        "hops", "shed", "start", "finish", "gpu", "pool", "epoch",
     )
 
     def __init__(self) -> None:
@@ -135,6 +142,8 @@ class JobStore:
         self.start = array("d")
         self.finish = array("d")
         self.gpu = array("q")
+        self.pool = array("q")
+        self.epoch = array("q")
 
     def __len__(self) -> int:
         return len(self.state)
@@ -158,11 +167,20 @@ class JobStore:
         self.start.extend(_d_fill(NO_INSTANT, count))
         self.finish.extend(_d_fill(NO_INSTANT, count))
         self.gpu.extend(_q_fill(0, count))
+        self.pool.extend(_q_fill(NO_POOL, count))
+        self.epoch.extend(_q_fill(0, count))
         return lo, lo + count
 
     # -- range transitions ---------------------------------------------- #
     def start_range(
-        self, lo: int, hi: int, node: int, now: float, gpu: bool
+        self,
+        lo: int,
+        hi: int,
+        node: int,
+        now: float,
+        gpu: bool,
+        pool: int = NO_POOL,
+        epoch: int = 0,
     ) -> None:
         """PENDING/QUEUED → RUNNING on ``node`` (``NO_NODE`` = CPU arm)."""
         n = hi - lo
@@ -170,12 +188,17 @@ class JobStore:
         self.dest[lo:hi] = _q_fill(node, n)
         self.start[lo:hi] = _d_fill(now, n)
         self.gpu[lo:hi] = _q_fill(1 if gpu else 0, n)
+        self.pool[lo:hi] = _q_fill(pool, n)
+        self.epoch[lo:hi] = _q_fill(epoch, n)
 
-    def queue_range(self, lo: int, hi: int, node: int) -> None:
+    def queue_range(
+        self, lo: int, hi: int, node: int, pool: int = NO_POOL
+    ) -> None:
         """PENDING → QUEUED at ``node`` (bounded per-node queue)."""
         n = hi - lo
         self.state[lo:hi] = _q_fill(int(FleetJobState.QUEUED), n)
         self.dest[lo:hi] = _q_fill(node, n)
+        self.pool[lo:hi] = _q_fill(pool, n)
 
     def complete_range(self, lo: int, hi: int, now: float) -> None:
         """RUNNING → COMPLETED at ``now``."""
@@ -205,6 +228,8 @@ class JobStore:
         self.dest[lo:hi] = _q_fill(NO_NODE, n)
         self.start[lo:hi] = _d_fill(NO_INSTANT, n)
         self.gpu[lo:hi] = _q_fill(0, n)
+        self.pool[lo:hi] = _q_fill(NO_POOL, n)
+        self.epoch[lo:hi] = _q_fill(0, n)
         # Resubmits are rare (node failures only); the per-element
         # rewrite stays off the per-batch hot path.
         self.hops[lo:hi] = array("q", [h + 1 for h in self.hops[lo:hi]])
@@ -225,6 +250,8 @@ class JobStore:
             start=self.start[index],
             finish=self.finish[index],
             gpu=bool(self.gpu[index]),
+            pool=self.pool[index],
+            epoch=self.epoch[index],
         )
 
     def rows(self) -> Iterator[JobRow]:
@@ -252,3 +279,31 @@ class JobStore:
         for name in self.COLUMNS:
             hasher.update(getattr(self, name).tobytes())
         return hasher.hexdigest()
+
+
+def gpu_wait_percentile(
+    store: JobStore,
+    quantile: float,
+    window_lo: float = 0.0,
+    window_hi: float = float("inf"),
+) -> float:
+    """Queue-wait percentile of completed GPU jobs submitted in a window.
+
+    Wait is ``start - submit`` (zero for immediately-placed jobs); the
+    window filter lets tests compare policies inside a storm.  Returns
+    0.0 when no matching jobs exist.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    completed = int(FleetJobState.COMPLETED)
+    waits = sorted(
+        store.start[i] - store.submit[i]
+        for i in range(len(store))
+        if store.gpu[i]
+        and store.state[i] == completed
+        and window_lo <= store.submit[i] < window_hi
+    )
+    if not waits:
+        return 0.0
+    rank = max(0, min(len(waits) - 1, int(math.ceil(quantile * len(waits))) - 1))
+    return waits[rank]

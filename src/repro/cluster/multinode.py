@@ -130,20 +130,40 @@ class _LoadHeap:
             ),
         )
 
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def add(self, node: ComputeNode) -> None:
+        """Admit a node (commissioned mid-run) into the heap."""
+        self._by_name[node.hostname] = node
+        self._push(node)
+
+    def remove(self, hostname: str) -> None:
+        """Retire a node that left the fleet (scale-in or quarantine).
+
+        Heap entries are not searched out: dropping the membership and
+        stamp records turns every entry for this hostname stale, and
+        :meth:`best` pop-discards them lazily — the same O(log n)
+        amortised contract as supersession.
+        """
+        self._by_name.pop(hostname, None)
+        self._latest.pop(hostname, None)
+
     def best(self) -> ComputeNode:
         """The least-loaded node, refreshing stale entries lazily."""
         heap = self._heap
-        while True:
+        while heap:
             _key, stamp, version, hostname = heap[0]
-            node = self._by_name[hostname]
-            if stamp != self._latest[hostname]:
-                heapq.heappop(heap)  # superseded by a fresher entry
+            node = self._by_name.get(hostname)
+            if node is None or stamp != self._latest.get(hostname):
+                heapq.heappop(heap)  # node left, or superseded entry
                 continue
             if version != self._version(node):
                 heapq.heappop(heap)
                 self._push(node)  # state changed: recompute once
                 continue
             return node
+        raise LookupError("no nodes available for selection")
 
 
 class NodeLoadIndex:
@@ -175,10 +195,47 @@ class NodeLoadIndex:
             total += self._gpu_heap.load_evaluations
         return total
 
+    def add(self, node: ComputeNode) -> None:
+        """Admit a node commissioned mid-run into the index."""
+        self.all_nodes = tuple(sorted(
+            (*self.all_nodes, node), key=lambda n: n.hostname
+        ))
+        self._all_heap.add(node)
+        if node.has_gpus:
+            self.gpu_nodes = tuple(sorted(
+                (*self.gpu_nodes, node), key=lambda n: n.hostname
+            ))
+            if self._gpu_heap is None:
+                self._gpu_heap = _LoadHeap(list(self.gpu_nodes))
+            else:
+                self._gpu_heap.add(node)
+
+    def remove(self, hostname: str) -> None:
+        """Retire a node that left mid-window (scale-in / quarantine).
+
+        Stale heap entries for the departed node pop-discard lazily on
+        the next :meth:`best` call instead of dangling into a
+        ``KeyError`` — the staleness edge the pool-drain regression
+        test pins.
+        """
+        self.all_nodes = tuple(
+            n for n in self.all_nodes if n.hostname != hostname
+        )
+        self.gpu_nodes = tuple(
+            n for n in self.gpu_nodes if n.hostname != hostname
+        )
+        self._all_heap.remove(hostname)
+        if self._gpu_heap is not None:
+            self._gpu_heap.remove(hostname)
+
     @hot_path
     def best(self, wants_gpu: bool) -> ComputeNode:
-        """Least-loaded eligible node (GPU nodes first when wanted)."""
-        if wants_gpu and self._gpu_heap is not None:
+        """Least-loaded eligible node (GPU nodes first when wanted).
+
+        Falls back to the all-nodes heap when every GPU node has left
+        the fleet; raises :class:`LookupError` once no nodes remain.
+        """
+        if wants_gpu and self._gpu_heap is not None and len(self._gpu_heap):
             return self._gpu_heap.best()
         return self._all_heap.best()
 

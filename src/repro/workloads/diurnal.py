@@ -56,6 +56,19 @@ class FleetToolClass:
     weight: float
     degradable: bool = False
 
+    @property
+    def gpu_benefit(self) -> float:
+        """The paper's GPU-benefit ratio: CPU time over GPU time.
+
+        Tools whose kernels barely beat their CPU arm score low; the
+        benefit-aware placement policy uses this to decide who may
+        claim scarce GPU slots first (``inf`` for CPU-only tools keeps
+        them out of the comparison entirely — they never ask for one).
+        """
+        if self.gpu_seconds <= 0.0:
+            return math.inf
+        return self.cpu_seconds / self.gpu_seconds
+
 
 #: The paper-flavoured default mix: GYAN's two GPU tools plus the CPU
 #: bulk that dominates real Galaxy traffic (weights sum to 1).
@@ -109,6 +122,30 @@ class DiurnalProfile:
         arrivals (storms excluded) reach ``target_jobs``."""
         users = math.ceil(target_jobs / (self.jobs_per_user_day * self.days))
         return replace(self, users=users)
+
+
+#: The canonical A/B storm window (seconds): a midday incident riding
+#: the 14:00 peak, shared by the bench suite, the differential policy
+#: tests, and ``repro fleet --ab`` so every comparison uses the same
+#: diurnal seed and the same surge.
+AB_STORM_START = 43_200.0
+AB_STORM_DURATION = 7_200.0
+AB_STORM_MULTIPLIER = 4.0
+
+
+def ab_storm_profile(target_jobs: int, seed: int = 7) -> DiurnalProfile:
+    """One diurnal day with the canonical A/B storm, sized to a target.
+
+    This is the fixture every placement-policy comparison runs on: the
+    same seed, the same 24-entry curve, the same midday storm — so any
+    difference between two runs is the policy, nothing else.
+    """
+    storm = BurstStorm(
+        start=AB_STORM_START,
+        duration=AB_STORM_DURATION,
+        multiplier=AB_STORM_MULTIPLIER,
+    )
+    return DiurnalProfile(seed=seed, storms=(storm,)).scaled_to(target_jobs)
 
 
 def _poisson(rng: random.Random, lam: float) -> int:

@@ -48,6 +48,8 @@ class TestDeploymentIR:
         # Same-directory tools and chaos plans attach to the deployment.
         assert {t.tool_id for t in first.tools} == {"racon", "bonito"}
         assert len(first.plans) == 2
+        # The shipped autoscale plan attaches alongside the chaos plans.
+        assert [a.name for a in first.autoscalers] == ["fleet-diurnal-day"]
 
     def test_initial_destinations_expand_dynamic_rules(self):
         deployments, _, _ = load_deployments(
@@ -130,6 +132,56 @@ class TestStaticPasses:
     def test_devices_flag_widens_plan_check(self):
         report = _verify(FIXTURES / "bad", device_count=8)
         assert "VER205" not in _rule_ids(report)
+
+
+class TestAutoscalePass:
+    def test_undersized_ceiling_is_ver504(self):
+        report = _verify(FIXTURES / "autoscale_bad")
+        by_rule = {f.rule_id: f for f in report.findings}
+        assert "VER504" in by_rule
+        assert by_rule["VER504"].path.endswith("autoscale_undersized.json")
+        # The suggestion does the Little's-law sizing for the operator:
+        # 3600 jobs/h x 120 s = 120 slots -> 30 nodes of 4 GPUs.
+        assert "max_nodes to at least 30" in by_rule["VER504"].suggestion
+        assert report.exit_code(Severity.ERROR) == EXIT_FINDINGS
+
+    def test_laggy_provisioning_is_ver505(self):
+        report = _verify(FIXTURES / "autoscale_bad")
+        by_rule = {f.rule_id: f for f in report.findings}
+        assert "VER505" in by_rule
+        assert by_rule["VER505"].path.endswith("autoscale_laggy.json")
+        assert by_rule["VER505"].severity == Severity.WARNING
+        # The laggy plan is correctly *sized*: VER504 must not blame it.
+        assert not by_rule["VER504"].path.endswith("autoscale_laggy.json")
+
+    def test_shipped_autoscale_plan_is_clean(self):
+        report = _verify(REPO_ROOT / "examples" / "configs")
+        assert "VER504" not in _rule_ids(report)
+        assert "VER505" not in _rule_ids(report)
+
+    def test_unloadable_autoscale_plan_is_ver200(self, tmp_path):
+        (tmp_path / "job_conf.xml").write_text(
+            (FIXTURES / "clean" / "job_conf.xml").read_text()
+        )
+        (tmp_path / "autoscale.json").write_text(
+            json.dumps({"schema": "gyan.autoscale/v1", "name": "broken"})
+        )
+        report = _verify(tmp_path)
+        ver200 = [f for f in report.findings if f.rule_id == "VER200"]
+        assert len(ver200) == 1
+        assert "autoscale plan does not load" in ver200[0].message
+
+    def test_plan_without_envelope_is_silent(self, tmp_path):
+        (tmp_path / "job_conf.xml").write_text(
+            (FIXTURES / "clean" / "job_conf.xml").read_text()
+        )
+        (tmp_path / "autoscale.json").write_text(json.dumps({
+            "schema": "gyan.autoscale/v1",
+            "name": "no-envelope",
+            "pool": {"gpus_per_node": 2, "min_nodes": 1, "max_nodes": 2},
+        }))
+        report = _verify(tmp_path)
+        assert report.findings == []
 
 
 class TestModelChecker:

@@ -1,0 +1,134 @@
+"""Property sweep: elastic-fleet parity over the whole knob space.
+
+One :func:`hypothesis.given` drives (day-curve shape, provisioning lag,
+hysteresis, placement policy, seed) and for every drawn case asserts
+the tentpole invariants:
+
+* **digest equality** — the columnar simulator and the per-job-object
+  reference produce SHA-256-identical job stores;
+* **ledger identity** — submitted = completed + shed + failed, with
+  every per-reason shed count matching between implementations;
+* **cost bounds** — node-seconds sit inside
+  ``[min_nodes x end_time_lower, max_nodes x end_time]`` and never
+  exceed what the equivalent *static* fleet (every node on for the
+  whole horizon) would have billed;
+* **meter parity** — node-second accounting is float-exact across
+  implementations (identical charge instants, identical add order).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.autoscale import PLACEMENT_POLICIES, AutoscalerConfig
+from repro.cluster.fleet import FleetConfig, FleetSimulator
+from repro.cluster.fleet_reference import ObjectFleetReference
+from repro.workloads.diurnal import (
+    DEFAULT_DAY_CURVE,
+    BurstStorm,
+    DiurnalProfile,
+    diurnal_batches,
+)
+
+#: Day-curve shapes: the default academic profile, a flat line, a
+#: night-heavy inversion and a spiky double-peak.
+FLAT_CURVE = (1.0,) * 24
+NIGHT_CURVE = tuple(reversed(DEFAULT_DAY_CURVE))
+DOUBLE_PEAK = tuple(
+    2.0 if hour in (9, 10, 19, 20) else 0.4 for hour in range(24)
+)
+DAY_CURVES = (DEFAULT_DAY_CURVE, FLAT_CURVE, NIGHT_CURVE, DOUBLE_PEAK)
+
+elastic_cases = st.fixed_dictionaries({
+    "curve": st.sampled_from(DAY_CURVES),
+    "lag": st.sampled_from((0.0, 300.0, 900.0)),
+    "hysteresis": st.integers(1, 3),
+    "policy": st.sampled_from(PLACEMENT_POLICIES),
+    "seed": st.integers(0, 31),
+    "storm": st.booleans(),
+})
+
+
+def build_case(case):
+    auto = AutoscalerConfig(
+        min_nodes=2,
+        max_nodes=6,
+        eval_interval_s=300.0,
+        provision_lag_s=case["lag"],
+        scale_up_step=2,
+        scale_down_step=2,
+        hysteresis_windows=case["hysteresis"],
+        cooldown_s=600.0,
+    )
+    config = FleetConfig(
+        nodes=6,
+        gpus_per_node=2,
+        queue_limit=4,
+        deadline_seconds=1800.0,
+        placement=case["policy"],
+        autoscale=auto,
+    )
+    storms = (
+        (BurstStorm(start=20_000.0, duration=4_000.0, multiplier=6.0),)
+        if case["storm"] else ()
+    )
+    profile = DiurnalProfile(
+        users=500,
+        jobs_per_user_day=3.0,
+        days=0.5,
+        tick_seconds=300.0,
+        day_curve=case["curve"],
+        storms=storms,
+        seed=case["seed"],
+    )
+    return config, profile
+
+
+class TestElasticFleetProperties:
+    @given(case=elastic_cases)
+    @settings(max_examples=30, deadline=None)
+    def test_parity_ledger_and_cost(self, case):
+        config, profile = build_case(case)
+        batches = diurnal_batches(profile)
+
+        result = FleetSimulator(config, profile.tools).run(batches)
+        reference = ObjectFleetReference(config, profile.tools)
+        store = reference.run(batches)
+
+        # Digest equality: bit-identical job state.
+        assert result.store_digest == store.digest()
+
+        # Ledger identity, per reason and in total.
+        assert result.shed == reference.shed
+        shed_total = sum(result.shed.values())
+        assert result.jobs_submitted == (
+            result.completed + shed_total + result.failed
+        )
+        assert result.jobs_submitted == reference.counts["submitted"]
+        assert result.completed == reference.counts["completed"]
+        assert result.failed == reference.counts["failed"]
+        assert result.resubmitted == reference.counts["resubmitted"]
+        assert result.provisioned_nodes == reference.counts["provisioned"]
+        assert result.decommissioned_nodes == (
+            reference.counts["decommissioned"]
+        )
+
+        # Meter parity: float-exact across implementations.
+        assert result.node_seconds == reference.meter.total
+
+        # Cost bounds: the elastic pool can never bill more than the
+        # static fleet that keeps max_nodes on for the whole run, and
+        # never less than the always-on base pool.
+        auto = config.autoscale
+        assert result.node_seconds <= auto.max_nodes * result.end_time
+        assert result.node_seconds >= auto.min_nodes * result.end_time - 1e-6
+        assert auto.min_nodes <= result.peak_nodes <= auto.max_nodes
+
+    @given(case=elastic_cases)
+    @settings(max_examples=10, deadline=None)
+    def test_rerun_digest_stable(self, case):
+        """The same drawn case run twice is byte-identical — the
+        hypothesis-driven version of CI's double-run diff."""
+        config, profile = build_case(case)
+        batches = diurnal_batches(profile)
+        first = FleetSimulator(config, profile.tools).run(batches)
+        second = FleetSimulator(config, profile.tools).run(batches)
+        assert first.to_json() == second.to_json()

@@ -167,3 +167,81 @@ class TestNodeLoadIndex:
         }
         assert seen == {"gpu-node-0", "gpu-node-1"}
         assert index.load_evaluations == baseline
+
+
+class TestNodeDeparture:
+    """Regression: a node leaving mid-window (scale-in drain or
+    quarantine) used to leave stale heap entries that ``best()`` could
+    hand back — selection must lazily discard them instead."""
+
+    def test_departed_node_never_selected(self):
+        cluster = build_cluster(gpu_nodes=3, cpu_nodes=0,
+                                policy="least-loaded")
+        index = cluster.load_index
+        # Load the other two nodes so gpu-node-0 is the heap head…
+        busy = [cluster.launch_overlapped("racon") for _ in range(2)]
+        assert cluster.policy.select(
+            cluster.nodes, wants_gpu=True
+        ).hostname == "gpu-node-2"
+        # …then retire the *least*-loaded node mid-window.
+        index.remove("gpu-node-2")
+        survivors = [n for n in cluster.nodes
+                     if n.hostname != "gpu-node-2"]
+        for _ in range(5):
+            chosen = cluster.policy.select(survivors, wants_gpu=True)
+            assert chosen.hostname != "gpu-node-2"
+        for handle in busy:
+            cluster.finish_overlapped(*handle)
+
+    def test_drain_during_burst_storm(self):
+        """The pool-drain scenario: a burst keeps every node loaded,
+        one node drains mid-burst, selection keeps serving from the
+        survivors without ever dereferencing the departed node."""
+        cluster = build_cluster(gpu_nodes=3, cpu_nodes=1,
+                                policy="least-loaded")
+        index = cluster.load_index
+        burst = [cluster.launch_overlapped("racon") for _ in range(3)]
+        index.remove("gpu-node-1")
+        survivors = [n for n in cluster.nodes
+                     if n.hostname != "gpu-node-1"]
+        seen = {
+            cluster.policy.select(survivors, wants_gpu=True).hostname
+            for _ in range(6)
+        }
+        assert seen and "gpu-node-1" not in seen
+        assert all(name != "gpu-node-1" for name in seen)
+        for handle in burst:
+            cluster.finish_overlapped(*handle)
+
+    def test_gpu_heap_empty_falls_back_to_all_nodes(self):
+        cluster = build_cluster(gpu_nodes=1, cpu_nodes=1,
+                                policy="least-loaded")
+        index = cluster.load_index
+        index.remove("gpu-node-0")
+        chosen = index.best(wants_gpu=True)
+        assert chosen.hostname == "cpu-node-0"
+
+    def test_empty_index_raises_lookup_error(self):
+        cluster = build_cluster(gpu_nodes=1, cpu_nodes=1,
+                                policy="least-loaded")
+        index = cluster.load_index
+        index.remove("gpu-node-0")
+        index.remove("cpu-node-0")
+        with pytest.raises(LookupError):
+            index.best(wants_gpu=False)
+
+    def test_readmitted_node_selected_again(self):
+        """A node added mid-run (commissioned by the autoscaler) joins
+        selection immediately."""
+        cluster = build_cluster(gpu_nodes=2, cpu_nodes=0,
+                                policy="least-loaded")
+        index = cluster.load_index
+        departed = next(
+            n for n in cluster.nodes if n.hostname == "gpu-node-1"
+        )
+        index.remove("gpu-node-1")
+        busy = cluster.launch_overlapped("racon")  # loads gpu-node-0
+        index.add(departed)
+        assert index.best(wants_gpu=True).hostname == "gpu-node-1"
+        assert departed in index.gpu_nodes
+        cluster.finish_overlapped(*busy)

@@ -146,6 +146,62 @@ class TestBenchGolden:
 
 
 # --------------------------------------------------------------------- #
+# fleet JSON (fully deterministic: virtual clock only, no masking)
+# --------------------------------------------------------------------- #
+def _fleet_day():
+    """A small half-day with a storm: enough to grow and drain the pool."""
+    from repro.workloads.diurnal import BurstStorm, DiurnalProfile
+
+    return DiurnalProfile(
+        users=300, jobs_per_user_day=3.0, days=0.5, tick_seconds=300.0,
+        seed=11,
+        storms=(BurstStorm(start=20_000.0, duration=4_000.0,
+                           multiplier=6.0),),
+    )
+
+
+class TestFleetGoldens:
+    def test_static_fleet_json(self):
+        from repro.cluster.fleet import FleetConfig, run_fleet
+
+        result = run_fleet(
+            FleetConfig(nodes=4, gpus_per_node=2, queue_limit=4,
+                        deadline_seconds=1800.0),
+            _fleet_day(),
+        )
+        assert_matches_golden("fleet/static.json", result.to_json())
+
+    def test_autoscaled_fleet_json(self):
+        from repro.cluster.autoscale import AutoscalerConfig
+        from repro.cluster.fleet import FleetConfig, run_fleet
+
+        auto = AutoscalerConfig(
+            min_nodes=2, max_nodes=6, eval_interval_s=300.0,
+            provision_lag_s=600.0, scale_up_step=2, scale_down_step=2,
+            hysteresis_windows=2, cooldown_s=600.0,
+        )
+        result = run_fleet(
+            FleetConfig(nodes=6, gpus_per_node=2, queue_limit=4,
+                        deadline_seconds=1800.0, autoscale=auto),
+            _fleet_day(),
+        )
+        # The golden must freeze a run that actually flexes the pool:
+        # growth, drain and the cost meter all appear in the payload.
+        assert result.scale_ups > 0 and result.scale_downs > 0
+        assert_matches_golden("fleet/autoscale.json", result.to_json())
+
+    def test_fleet_ab_cli_json(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fleet", "--ab", "--jobs", "4000", "--nodes", "8",
+            "--gpus-per-node", "2", "--queue-limit", "4",
+            "--format", "json",
+        ]) == 0
+        assert_matches_golden("fleet/ab.json", capsys.readouterr().out)
+
+
+# --------------------------------------------------------------------- #
 # trace artifacts
 # --------------------------------------------------------------------- #
 @pytest.fixture(scope="module")

@@ -19,7 +19,7 @@ EXAMPLES = REPO_ROOT / "examples" / "configs"
 
 ALL_COMMANDS = ("info", "smi", "topo", "racon", "bonito", "cases",
                 "experiment", "trace", "lint", "faults", "verify", "bench",
-                "race", "storm", "perf")
+                "race", "storm", "perf", "fleet")
 
 
 def test_parser_registers_every_command():
@@ -80,3 +80,13 @@ def test_storm_smoke(capsys):
     assert main(["storm", "--jobs", "16", "--no-faults"]) == 0
     out = capsys.readouterr().out
     assert "lost (admitted)" in out
+
+
+def test_fleet_smoke(capsys):
+    assert main(["fleet", "--jobs", "2000", "--nodes", "4",
+                 "--gpus-per-node", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "policy" in out and "node-seconds" in out
+    # Conflicting pool bounds are a usage error, not a traceback.
+    assert main(["fleet", "--autoscale", "--min-nodes", "9",
+                 "--nodes", "4"]) == 2
